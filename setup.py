@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` needs `bdist_wheel` for modern editable installs;
+this offline environment lacks it, so `python setup.py develop` (or
+pip's legacy resolver) provides the editable install path.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,154 @@
+"""Byzantine behaviour mixins as class factories.
+
+Each factory takes an honest replica class (DiemBFT-family) and
+returns a subclass with one specific deviation:
+
+* :func:`make_silent` — never votes (Byzantine fault that attacks
+  liveness of strong commits; Theorem 3's ``t``);
+* :func:`make_equivocating_leader` — proposes two conflicting blocks
+  per led round, sending each to half of the network (creates the
+  forks that raise honest markers);
+* :func:`make_withholding_leader` — proposes only to a subset,
+  forcing the rest to time out;
+* :func:`make_lazy_voter` — delays every vote by a fixed amount
+  (models the paper's "stragglers ... out-of-sync due to slow
+  network/computation", Section 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.types.block import Block
+from repro.types.messages import ProposalMsg, VoteMsg
+
+
+def make_silent(replica_class):
+    """A replica that participates in everything except voting."""
+
+    class SilentReplica(replica_class):
+        def _maybe_vote(self, msg):
+            del msg
+
+    SilentReplica.__name__ = f"Silent{replica_class.__name__}"
+    return SilentReplica
+
+
+def make_equivocating_leader(replica_class):
+    """A leader that proposes two conflicting blocks per led round.
+
+    The first block goes to replicas with ids below ``n/2``, the second
+    to the rest; the leader also processes its first proposal itself.
+    Both blocks extend ``qc_high``, differing in payload tag, so they
+    conflict at the same round — the raw material of Appendix C.
+    """
+
+    class EquivocatingLeader(replica_class):
+        def _propose(self, round_number, reason):
+            del reason
+            parent_qc = self.qc_high
+            now = self.context.now
+            proposals = []
+            for variant in (0, 1):
+                payload = self.payload_source(now)
+                block = Block(
+                    parent_id=parent_qc.block_id,
+                    qc=parent_qc,
+                    round=round_number,
+                    height=parent_qc.height + 1,
+                    proposer=self.replica_id,
+                    payload=payload,
+                    created_at=now,
+                    commit_log=(("equivocation", variant),),
+                )
+                tc = None
+                if parent_qc.round != round_number - 1:
+                    tc = self.pacemaker.known_tc(round_number - 1)
+                proposal = ProposalMsg(
+                    sender=self.replica_id, round=round_number, block=block, tc=tc
+                )
+                signature = self.context.signing_key.sign(
+                    proposal.signing_payload()
+                )
+                proposals.append(
+                    ProposalMsg(
+                        sender=proposal.sender,
+                        round=proposal.round,
+                        block=proposal.block,
+                        tc=proposal.tc,
+                        signature=signature,
+                    )
+                )
+            self.blocks_proposed += 1
+            half = self.config.n // 2
+            for dst in range(self.config.n):
+                variant = 0 if dst < half else 1
+                self.context.send(dst, proposals[variant])
+
+    EquivocatingLeader.__name__ = f"Equivocating{replica_class.__name__}"
+    return EquivocatingLeader
+
+
+def make_withholding_leader(replica_class, reach: float = 0.5):
+    """A leader that sends its proposal only to the first ``reach`` share."""
+
+    class WithholdingLeader(replica_class):
+        def _propose(self, round_number, reason):
+            del reason
+            parent_qc = self.qc_high
+            block = Block(
+                parent_id=parent_qc.block_id,
+                qc=parent_qc,
+                round=round_number,
+                height=parent_qc.height + 1,
+                proposer=self.replica_id,
+                payload=self.payload_source(self.context.now),
+                created_at=self.context.now,
+            )
+            tc = None
+            if parent_qc.round != round_number - 1:
+                tc = self.pacemaker.known_tc(round_number - 1)
+            proposal = ProposalMsg(
+                sender=self.replica_id, round=round_number, block=block, tc=tc
+            )
+            signature = self.context.signing_key.sign(proposal.signing_payload())
+            proposal = ProposalMsg(
+                sender=proposal.sender,
+                round=proposal.round,
+                block=proposal.block,
+                tc=proposal.tc,
+                signature=signature,
+            )
+            self.blocks_proposed += 1
+            cutoff = int(self.config.n * reach)
+            for dst in range(cutoff):
+                self.context.send(dst, proposal)
+            if self.replica_id >= cutoff:
+                self.context.send(self.replica_id, proposal)
+
+    WithholdingLeader.__name__ = f"Withholding{replica_class.__name__}"
+    return WithholdingLeader
+
+
+def make_lazy_voter(replica_class, delay: float = 0.5):
+    """A correct replica whose votes leave ``delay`` seconds late."""
+
+    class LazyVoter(replica_class):
+        def _maybe_vote(self, msg):
+            original_send = self.context.send
+            deferred = []
+
+            def capture(dst, message):
+                if isinstance(message, VoteMsg):
+                    deferred.append((dst, message))
+                else:
+                    original_send(dst, message)
+
+            self.context.send = capture
+            try:
+                super()._maybe_vote(msg)
+            finally:
+                self.context.send = original_send
+            for dst, message in deferred:
+                self.context.set_timer(delay, original_send, dst, message)
+
+    LazyVoter.__name__ = f"Lazy{replica_class.__name__}"
+    return LazyVoter

@@ -1,0 +1,260 @@
+"""The Appendix C counter-example, as an executable scenario.
+
+Appendix C shows why *naively counting every indirect vote* towards a
+block's resilience is unsafe: with ``f + 1`` Byzantine replicas
+``b_1..b_{f+1}`` and ``2f`` honest replicas ``h_1..h_2f``, the
+adversary manufactures two conflicting 3-chains whose naive vote count
+reaches ``2f + 2`` each — i.e. two conflicting ``(f+1)``-strong commits
+under exactly ``f + 1`` faults, violating Definition 1.
+
+SFT's markers repair this: honest replica ``h_{f+1}`` voted for the
+fork block ``B'_{r+1}`` before voting for ``B_{r+2}``, so its
+strong-vote carries ``marker = r + 1`` and does *not* endorse ``B_r``
+or ``B_{r+1}``; symmetrically the honest voters ``h_1..h_f`` carry
+``marker = r + 2`` on the fork and do not boost it beyond ``f``-strong.
+Neither chain reaches ``(f+1)``-strong, so Definition 1 holds.
+
+:class:`AppendixCScenario` builds the exact block/vote structure of
+Figure 9 against a shared :class:`~repro.types.chain.BlockStore` and
+evaluates both accounting schemes side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commit_rules import CommitTracker
+from repro.core.endorsement import EndorsementTracker
+from repro.types.block import Block, make_genesis
+from repro.types.chain import BlockStore
+from repro.types.quorum_cert import QuorumCertificate
+from repro.types.transaction import Payload, TxBatch
+from repro.types.vote import StrongVote
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioResult:
+    """Outcome of the Appendix C scenario for both accounting schemes.
+
+    With ``t = f + 1`` actual faults, Definition 1 is violated exactly
+    when two *conflicting* blocks are both ``x``-strong committed for
+    some ``x >= t`` — i.e. both chains reach ``(f+1)``-strong.  A lone
+    ``(f+1)``-strong fork conflicting with an ``f``-strong main block
+    is explicitly allowed (Section 3.1: the ``f``-strong guarantee is
+    void once ``t > f``).
+    """
+
+    f: int
+    naive_main_strength: int
+    naive_fork_strength: int
+    sft_main_strength: int
+    sft_fork_strength: int
+    main_block_round: int
+    fork_block_round: int
+
+    def naive_violates_definition_1(self) -> bool:
+        """Two conflicting (f+1)-strong commits under t = f + 1 faults."""
+        target = self.f + 1
+        return (
+            self.naive_main_strength >= target
+            and self.naive_fork_strength >= target
+        )
+
+    def sft_is_safe(self) -> bool:
+        """No conflicting pair is strong-committed at level >= f + 1."""
+        target = self.f + 1
+        return not (
+            self.sft_main_strength >= target
+            and self.sft_fork_strength >= target
+        )
+
+
+class AppendixCScenario:
+    """Builds Figure 9 and evaluates naive vs marker-based accounting."""
+
+    def __init__(self, f: int = 2) -> None:
+        if f < 2:
+            # Figure 9 uses two distinct switching replicas (h_{f+1}
+            # and h_{f+2}), which requires 2f >= f + 2.
+            raise ValueError("the scenario needs f >= 2")
+        self.f = f
+        self.n = 3 * f + 1
+        # Replica naming per the paper: honest h_1..h_2f, Byzantine
+        # b_1..b_{f+1}.  Ids: honest 0..2f-1, Byzantine 2f..3f.
+        self.honest = list(range(2 * f))
+        self.byzantine = list(range(2 * f, 3 * f + 1))
+        genesis, genesis_qc = make_genesis()
+        self.store = BlockStore(genesis, genesis_qc)
+        self.genesis = genesis
+        self.genesis_qc = genesis_qc
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _block(self, parent: Block, parent_qc, round_number: int, tag: int) -> Block:
+        block = Block(
+            parent_id=parent.id(),
+            qc=parent_qc,
+            round=round_number,
+            height=parent.height + 1,
+            proposer=self.byzantine[0],
+            payload=Payload(batch=TxBatch(count=1, size_bytes=64, tag=tag)),
+        )
+        self.store.add_block(block)
+        return block
+
+    def _strong_vote(self, block: Block, voter: int, marker: int) -> StrongVote:
+        return StrongVote(
+            block_id=block.id(),
+            block_round=block.round,
+            height=block.height,
+            voter=voter,
+            marker=marker,
+        )
+
+    def _qc(self, block: Block, votes) -> QuorumCertificate:
+        return QuorumCertificate(
+            block_id=block.id(),
+            round=block.round,
+            height=block.height,
+            votes=tuple(votes),
+        )
+
+    # ------------------------------------------------------------------
+    # the scenario
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        f = self.f
+        h = self.honest
+        b = self.byzantine
+        group_a = h[:f] + b            # h_1..h_f ∪ b_1..b_{f+1}  (2f+1)
+        group_b = h[f:] + b            # h_{f+1}..h_2f ∪ b_1..b_{f+1}
+
+        # Rounds: r-1 = 1, r = 2 … matching Figure 9 with r = 2.
+        r = 2
+        b_rm1 = self._block(self.genesis, self.genesis_qc, r - 1, tag=0)
+        qc_rm1 = self._qc(
+            b_rm1, (self._strong_vote(b_rm1, v, 0) for v in group_a)
+        )
+        b_r = self._block(b_rm1, qc_rm1, r, tag=1)
+        qc_r = self._qc(b_r, (self._strong_vote(b_r, v, 0) for v in group_a))
+        b_r1 = self._block(b_r, qc_r, r + 1, tag=2)
+        qc_r1 = self._qc(b_r1, (self._strong_vote(b_r1, v, 0) for v in group_a))
+        b_r2 = self._block(b_r1, qc_r1, r + 2, tag=3)
+
+        # The conflicting fork: B'_{r+1} extends B_{r-1}.
+        fork_r1 = self._block(b_rm1, qc_rm1, r + 1, tag=4)
+        qc_fork_r1 = self._qc(
+            fork_r1, (self._strong_vote(fork_r1, v, 0) for v in group_b)
+        )
+
+        # h_{f+1} voted for B'_{r+1}, then votes for B_{r+2}: honest
+        # marker = r + 1.  Byzantine voters lie with marker 0.
+        votes_r2 = [self._strong_vote(b_r2, v, 0) for v in h[:f]]
+        votes_r2.append(self._strong_vote(b_r2, h[f], r + 1))
+        votes_r2.extend(self._strong_vote(b_r2, v, 0) for v in b[:f])
+        qc_r2 = self._qc(b_r2, votes_r2)
+        b_r3 = self._block(b_r2, qc_r2, r + 3, tag=5)
+
+        # B_{r+3}'s QC brings in h_{f+2} (Figure 9's final main-chain
+        # QC = {h_1..h_f, h_{f+2}} ∪ {b_1..b_{f+1}}, size 2f+2).
+        # h_{f+2} voted for B'_{r+1}, so its honest marker is r + 1.
+        votes_r3 = [self._strong_vote(b_r3, v, 0) for v in h[:f]]
+        votes_r3.append(self._strong_vote(b_r3, h[f + 1], r + 1))
+        votes_r3.extend(self._strong_vote(b_r3, v, 0) for v in b)
+        qc_r3 = self._qc(b_r3, votes_r3)
+
+        # The fork grows: B'_{r+4} extends B'_{r+1}; honest h_1..h_f
+        # may vote there (their lock is at most r + 1), with honest
+        # marker = r + 2 (they voted B_{r+2} on the main chain).
+        fork_r4 = self._block(fork_r1, qc_fork_r1, r + 4, tag=6)
+        qc_fork_r4 = self._qc(
+            fork_r4,
+            [self._strong_vote(fork_r4, v, r + 2) for v in h[:f]]
+            + [self._strong_vote(fork_r4, v, 0) for v in b],
+        )
+        fork_r5 = self._block(fork_r4, qc_fork_r4, r + 5, tag=7)
+        qc_fork_r5 = self._qc(
+            fork_r5,
+            [self._strong_vote(fork_r5, v, r + 2) for v in h[:f]]
+            + [self._strong_vote(fork_r5, v, 0) for v in b],
+        )
+        fork_r6 = self._block(fork_r5, qc_fork_r5, r + 6, tag=8)
+        qc_fork_r6 = self._qc(
+            fork_r6,
+            [self._strong_vote(fork_r6, v, r + 2) for v in h[:f]]
+            + [self._strong_vote(fork_r6, v, 0) for v in b],
+        )
+
+        # B'_{r+7} adds h_{f+1}'s fork vote (marker r + 2: it voted
+        # B_{r+2} on the main chain), lifting the fork's naive count to
+        # 2f + 2 distinct voters.
+        fork_r7 = self._block(fork_r6, qc_fork_r6, r + 7, tag=9)
+        qc_fork_r7 = self._qc(
+            fork_r7,
+            [self._strong_vote(fork_r7, v, r + 2) for v in h[: f + 1]]
+            + [self._strong_vote(fork_r7, v, 0) for v in b[:f]],
+        )
+
+        qcs = [
+            qc_rm1,
+            qc_r,
+            qc_r1,
+            qc_r2,
+            qc_r3,
+            qc_fork_r1,
+            qc_fork_r4,
+            qc_fork_r5,
+            qc_fork_r6,
+            qc_fork_r7,
+        ]
+
+        naive = self._evaluate(qcs, naive=True)
+        sft = self._evaluate(qcs, naive=False)
+        return ScenarioResult(
+            f=f,
+            naive_main_strength=naive[b_r.id()],
+            naive_fork_strength=naive[fork_r4.id()],
+            sft_main_strength=sft[b_r.id()],
+            sft_fork_strength=sft[fork_r4.id()],
+            main_block_round=b_r.round,
+            fork_block_round=fork_r4.round,
+        )
+
+    def _evaluate(self, qcs, naive: bool) -> dict:
+        """Strength of every block under one accounting scheme.
+
+        ``naive=True`` strips markers (counting all indirect votes),
+        reproducing the flawed scheme Appendix C refutes.
+        """
+        tracker = EndorsementTracker(self.store, mode="round")
+        commits = CommitTracker(
+            self.store, self.f, rule="diembft", endorsement=tracker
+        )
+        for qc in qcs:
+            self.store.record_qc(qc)
+        for qc in qcs:
+            if naive:
+                qc = QuorumCertificate(
+                    block_id=qc.block_id,
+                    round=qc.round,
+                    height=qc.height,
+                    votes=tuple(
+                        StrongVote(
+                            block_id=vote.block_id,
+                            block_round=vote.block_round,
+                            height=vote.height,
+                            voter=vote.voter,
+                            marker=0,
+                        )
+                        for vote in qc.votes
+                    ),
+                )
+            tracker.add_strong_qc(qc, now=0.0)
+            commits.on_new_qc(qc, now=0.0)
+        return {
+            block.id(): commits.strength_of(block.id())
+            for block in self.store.all_blocks()
+        }

@@ -1,0 +1,23 @@
+"""Result analysis and paper-style reporting."""
+
+from repro.analysis.ascii_chart import line_chart
+from repro.analysis.chain_stats import ChainStats, collect_chain_stats
+from repro.analysis.health import QCDiversityMonitor, ReplicaHealth
+from repro.analysis.report import (
+    format_fig7_table,
+    format_fig8_table,
+    format_series_csv,
+    format_simple_table,
+)
+
+__all__ = [
+    "line_chart",
+    "format_fig7_table",
+    "format_fig8_table",
+    "format_series_csv",
+    "format_simple_table",
+    "ChainStats",
+    "collect_chain_stats",
+    "QCDiversityMonitor",
+    "ReplicaHealth",
+]

@@ -1,0 +1,57 @@
+"""Minimal ASCII line charts for terminal-friendly benchmark output.
+
+The benchmarks print the same series the paper plots; a rough chart
+makes the *shape* (linear growth, jumps at 1.1f and 2f, curve merges)
+visible directly in CI logs without matplotlib.
+"""
+
+from __future__ import annotations
+
+
+def line_chart(
+    series: dict,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a multi-series ASCII chart.
+
+    Points with ``None`` y-values are skipped.  Each series gets a
+    distinct glyph; overlapping points show the later series' glyph.
+    """
+    glyphs = "*o+x#@%&"
+    cleaned = {}
+    for name, points in series.items():
+        cleaned[name] = [(x, y) for x, y in points if y is not None]
+    all_points = [point for points in cleaned.values() for point in points]
+    if not all_points:
+        return "(no data)"
+
+    xs = [x for x, _y in all_points]
+    ys = [y for _x, y in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(cleaned.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in points:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    lines.append(f"{y_label} [{y_min:.3g} .. {y_max:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_min:.3g} .. {x_max:.3g}]")
+    legend = "   ".join(
+        f"{glyphs[index % len(glyphs)]} {name}"
+        for index, name in enumerate(cleaned)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

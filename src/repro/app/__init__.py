@@ -1,0 +1,13 @@
+"""Application layer: state machines executed over the committed log.
+
+BFT SMR's contract (Section 2) is a linearizable log "akin to a single
+non-faulty server".  This package closes the loop: a deterministic
+state machine consumes each replica's committed blocks in order, so
+tests and examples can assert the end result — identical state and
+state hashes on every honest replica — rather than just matching block
+ids.
+"""
+
+from repro.app.kvstore import KVCommand, KVStateMachine, LedgerExecutor
+
+__all__ = ["KVCommand", "KVStateMachine", "LedgerExecutor"]

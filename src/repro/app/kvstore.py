@@ -1,0 +1,162 @@
+"""A deterministic key-value state machine over the committed log.
+
+:class:`KVStateMachine` applies ``SET``/``DEL``/``TRANSFER`` commands
+encoded in transaction payloads; :class:`LedgerExecutor` drains a
+replica's commit log into a state machine incrementally.  Determinism
+is the whole point: after any prefix of the log, every honest replica
+must hold exactly the same state (verified via :meth:`state_hash`),
+which is the linearizability check the SMR definition demands.
+
+Commands serialize into :class:`~repro.types.transaction.Transaction`
+payloads, so the application layer rides on the ordinary client path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import HashDigest, hash_fields
+from repro.types.transaction import Transaction
+
+
+@dataclass(frozen=True, slots=True)
+class KVCommand:
+    """One state-machine command.
+
+    ``op`` ∈ {"set", "del", "transfer"}:
+
+    * ``set key value``        — write a value;
+    * ``del key``              — remove a key;
+    * ``transfer key key2 n``  — move ``n`` units between integer
+      accounts (external validity: fails, without effect, when the
+      source balance is insufficient — the "externally valid"
+      application predicate of Section 2).
+    """
+
+    op: str
+    key: str
+    value: str = ""
+    key2: str = ""
+    amount: int = 0
+
+    def encode(self) -> bytes:
+        return "|".join(
+            (self.op, self.key, self.value, self.key2, str(self.amount))
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "KVCommand | None":
+        try:
+            op, key, value, key2, amount = payload.decode("utf-8").split("|")
+            return cls(op=op, key=key, value=value, key2=key2,
+                       amount=int(amount))
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+    def to_transaction(self, client_id: int, sequence: int,
+                       submitted_at: float = 0.0) -> Transaction:
+        return Transaction(
+            client_id=client_id,
+            sequence=sequence,
+            payload=self.encode(),
+            submitted_at=submitted_at,
+        )
+
+
+class KVStateMachine:
+    """Deterministic in-memory KV store with integer accounts."""
+
+    def __init__(self) -> None:
+        self._state: dict[str, str] = {}
+        self.applied = 0
+        self.rejected = 0
+
+    def apply(self, command: KVCommand) -> bool:
+        """Apply one command; returns False when externally invalid."""
+        if command.op == "set":
+            self._state[command.key] = command.value
+        elif command.op == "del":
+            self._state.pop(command.key, None)
+        elif command.op == "transfer":
+            source = int(self._state.get(command.key, "0") or "0")
+            destination = int(self._state.get(command.key2, "0") or "0")
+            if command.amount < 0 or source < command.amount:
+                self.rejected += 1
+                return False
+            if command.key != command.key2:
+                self._state[command.key] = str(source - command.amount)
+                self._state[command.key2] = str(destination + command.amount)
+        else:
+            self.rejected += 1
+            return False
+        self.applied += 1
+        return True
+
+    def apply_transaction(self, transaction: Transaction) -> bool:
+        command = KVCommand.decode(transaction.payload)
+        if command is None:
+            self.rejected += 1
+            return False
+        return self.apply(command)
+
+    def get(self, key: str) -> str | None:
+        return self._state.get(key)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def state_hash(self) -> HashDigest:
+        """Order-independent digest of the full state."""
+        items = tuple(sorted(self._state.items()))
+        return hash_fields("kv-state", items)
+
+    def snapshot(self) -> dict:
+        return dict(self._state)
+
+
+class LedgerExecutor:
+    """Incrementally executes one replica's committed log.
+
+    Call :meth:`sync` after (or during) a run; it applies the payload
+    transactions of newly committed blocks in commit order.  The
+    executor never re-applies a block, so repeated syncs are cheap.
+    """
+
+    def __init__(self, replica, state_machine: KVStateMachine | None = None):
+        self.replica = replica
+        self.state = state_machine or KVStateMachine()
+        self._cursor = 0
+        self._applied_txids: set = set()
+        self.blocks_executed = 0
+        self.duplicates_skipped = 0
+
+    def sync(self) -> int:
+        """Apply newly committed blocks; returns how many were applied.
+
+        A transaction may legitimately appear in several blocks (a
+        leader re-proposes anything not yet committed), so execution
+        deduplicates by transaction id — the standard SMR exactly-once
+        rule.
+        """
+        commit_order = self.replica.commit_tracker.commit_order
+        store = self.replica.store
+        applied = 0
+        while self._cursor < len(commit_order):
+            event = commit_order[self._cursor]
+            self._cursor += 1
+            block = store.maybe_get(event.block_id)
+            if block is None:
+                continue
+            for transaction in block.payload.transactions:
+                txid = transaction.txid()
+                if txid in self._applied_txids:
+                    self.duplicates_skipped += 1
+                    continue
+                self._applied_txids.add(txid)
+                self.state.apply_transaction(transaction)
+            self.blocks_executed += 1
+            applied += 1
+        return applied
+
+    def state_hash(self) -> HashDigest:
+        return self.state.state_hash()

@@ -1,0 +1,224 @@
+"""Command-line interface: run SFT experiments from the shell.
+
+Examples::
+
+    python -m repro run --protocol sft-diembft --n 31 --duration 20
+    python -m repro run --topology asymmetric --delta 0.2 --timeout 0.15
+    python -m repro figure 7a            # regenerate a paper figure
+    python -m repro counterexample       # Appendix C walkthrough
+    python -m repro health --n 31        # QC-diversity health report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adversary import AppendixCScenario
+from repro.analysis import format_fig7_table, format_series_csv, line_chart
+from repro.analysis.chain_stats import collect_chain_stats
+from repro.analysis.health import QCDiversityMonitor
+from repro.core.resilience import ratio_grid
+from repro.runtime.config import PROTOCOLS, ExperimentConfig, build_cluster
+from repro.runtime.metrics import (
+    check_commit_safety,
+    regular_commit_latency,
+    strong_latency_series,
+    throughput_txps,
+)
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", choices=PROTOCOLS, default="sft-diembft")
+    parser.add_argument("--n", type=int, default=31, help="replica count")
+    parser.add_argument(
+        "--topology", choices=("uniform", "symmetric", "asymmetric"),
+        default="symmetric",
+    )
+    parser.add_argument("--delta", type=float, default=0.1,
+                        help="inter-region delay δ in seconds")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="simulated seconds")
+    parser.add_argument("--timeout", type=float, default=1.0,
+                        help="pacemaker base round timeout")
+    parser.add_argument("--extra-wait", type=float, default=0.0,
+                        help="leader QC extra wait (Section 4.2)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--intervals", action="store_true",
+                        help="generalized interval votes (Section 3.4)")
+    parser.add_argument("--crash", type=int, default=0,
+                        help="crash this many replicas at t=0")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit the latency series as CSV")
+
+
+def _config_from_args(args) -> ExperimentConfig:
+    crash_schedule = tuple(
+        (args.n - 1 - index, 0.0) for index in range(args.crash)
+    )
+    return ExperimentConfig(
+        protocol=args.protocol,
+        n=args.n,
+        topology=args.topology,
+        delta=args.delta,
+        jitter=0.004,
+        duration=args.duration,
+        round_timeout=args.timeout,
+        qc_extra_wait=args.extra_wait,
+        seed=args.seed,
+        generalized_intervals=args.intervals,
+        verify_signatures=args.n <= 31,
+        observers="all" if args.n <= 31 else 5,
+        crash_schedule=crash_schedule,
+    )
+
+
+def command_run(args) -> int:
+    config = _config_from_args(args)
+    print(f"protocol={config.protocol} n={config.n} f={config.resolved_f()} "
+          f"topology={config.build_topology().describe()} "
+          f"duration={config.duration}s seed={config.seed}")
+    cluster = build_cluster(config).run()
+    survivors = [replica for replica in cluster.replicas if not replica.crashed]
+    check_commit_safety(survivors)
+    replica = survivors[0]
+    commits = len(replica.commit_tracker.commit_order)
+    mean, count = regular_commit_latency(
+        cluster, created_before=config.duration * 0.66
+    )
+    print(f"\ncommits: {commits}  rounds: {replica.current_round}  "
+          f"throughput: {throughput_txps(cluster):.0f} txn/s")
+    if mean is not None:
+        print(f"regular commit latency: {mean:.3f}s over {count} samples")
+    series = strong_latency_series(
+        cluster, ratio_grid(), created_before=config.duration * 0.66
+    )
+    if args.csv:
+        print(format_series_csv(series, label=config.protocol))
+    else:
+        print()
+        print(format_fig7_table(
+            {"run": series}, title="strong commit latency"
+        ))
+    stats = collect_chain_stats(replica)
+    print(f"\nchain: {stats.blocks_committed} committed / "
+          f"{stats.blocks_total} blocks, {stats.skipped_rounds} skipped "
+          f"rounds, QC diversity {stats.qc_diversity:.2f}")
+    return 0
+
+
+def command_figure(args) -> int:
+    if args.which == "7a":
+        deltas, topology, timeout = (0.1, 0.2), "symmetric", 1.5
+    elif args.which == "7b":
+        deltas, topology, timeout = (0.1, 0.2), "asymmetric", 0.15
+    else:
+        print("supported figures: 7a, 7b", file=sys.stderr)
+        return 2
+    results = {}
+    for delta in deltas:
+        config = ExperimentConfig(
+            protocol="sft-diembft",
+            n=100,
+            topology=topology,
+            delta=delta,
+            jitter=0.004,
+            duration=args.duration,
+            round_timeout=timeout,
+            timeout_multiplier=1.0 if topology == "asymmetric" else 1.5,
+            seed=11,
+            verify_signatures=False,
+            observers=10,
+        )
+        label = f"δ={delta * 1000:.0f}ms"
+        print(f"running {topology} {label}…", file=sys.stderr)
+        cluster = build_cluster(config).run()
+        results[label] = strong_latency_series(
+            cluster, ratio_grid(), created_before=args.duration * 0.6
+        )
+    print(format_fig7_table(results, title=f"Figure {args.which} (measured)"))
+    print()
+    print(line_chart(
+        {
+            label: [(point.ratio, point.mean_latency) for point in series]
+            for label, series in results.items()
+        },
+        x_label="x-strong (f)",
+        y_label="latency (s)",
+    ))
+    return 0
+
+
+def command_counterexample(args) -> int:
+    result = AppendixCScenario(f=args.f).run()
+    print(f"Appendix C with f={args.f}:")
+    print(f"  naive: main={result.naive_main_strength} "
+          f"fork={result.naive_fork_strength} "
+          f"violates Definition 1: {result.naive_violates_definition_1()}")
+    print(f"  SFT:   main={result.sft_main_strength} "
+          f"fork={result.sft_fork_strength} "
+          f"safe: {result.sft_is_safe()}")
+    return 0 if result.sft_is_safe() else 1
+
+
+def command_health(args) -> int:
+    config = _config_from_args(args)
+    cluster = build_cluster(config).run()
+    replica = cluster.replicas[0]
+    monitor = QCDiversityMonitor(config.n)
+    monitor.observe_chain(replica.store, replica.commit_tracker.commit_order)
+    print(f"observed {monitor.qc_count()} chain QCs; "
+          f"max achievable strength: "
+          f"{monitor.max_achievable_strength(config.resolved_f())} "
+          f"(2f = {2 * config.resolved_f()})")
+    print(f"\n{'replica':>8}{'QCs':>7}{'rate':>7}{'last round':>12}")
+    for health in monitor.report():
+        last = health.last_seen_round if health.last_seen_round else "—"
+        flag = "  ← outcast" if health.is_outcast() else ""
+        print(f"{health.replica_id:>8}{health.qc_appearances:>7}"
+              f"{health.appearance_rate:>7.2f}{str(last):>12}{flag}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Strengthened Fault Tolerance in BFT replication "
+                    "(ICDCS 2021) — simulation toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(handler=command_run)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate a paper figure"
+    )
+    figure_parser.add_argument("which", choices=("7a", "7b"))
+    figure_parser.add_argument("--duration", type=float, default=30.0)
+    figure_parser.set_defaults(handler=command_figure)
+
+    counter_parser = subparsers.add_parser(
+        "counterexample", help="Appendix C naive-counting walkthrough"
+    )
+    counter_parser.add_argument("--f", type=int, default=2)
+    counter_parser.set_defaults(handler=command_counterexample)
+
+    health_parser = subparsers.add_parser(
+        "health", help="QC-diversity replica health report (Section 5)"
+    )
+    _add_run_arguments(health_parser)
+    health_parser.set_defaults(handler=command_health)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Closed-integer-interval sets for generalized strong-votes.
+
+Section 3.4 generalizes the single ``marker`` to a set ``I`` of round
+intervals the strong-vote endorses: ``I = [1, r] \\ (∪_F D_F)`` where
+each fork ``F`` the voter ever voted on contributes a non-endorsed
+interval ``D_F = [r_l + 1, r_h]``.  :class:`IntervalSet` provides the
+small algebra those computations need: union, subtraction,
+intersection, membership, and subset tests over disjoint, normalized,
+closed ``[lo, hi]`` integer intervals.
+
+Instances are immutable; all operations return new sets.
+"""
+
+from __future__ import annotations
+
+
+class IntervalSet:
+    """An immutable set of integers stored as disjoint closed intervals.
+
+    Internal representation: a tuple of ``(lo, hi)`` pairs with
+    ``lo <= hi``, sorted ascending, pairwise disjoint and
+    non-adjacent (``prev.hi + 1 < next.lo``), which makes every set
+    have exactly one representation.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals=()) -> None:
+        self._intervals = self._normalize(intervals)
+
+    @staticmethod
+    def _normalize(intervals) -> tuple:
+        spans = []
+        for lo, hi in intervals:
+            if lo > hi:
+                continue
+            spans.append((int(lo), int(hi)))
+        if not spans:
+            return ()
+        spans.sort()
+        merged = [spans[0]]
+        for lo, hi in spans[1:]:
+            last_lo, last_hi = merged[-1]
+            if lo <= last_hi + 1:
+                merged[-1] = (last_lo, max(last_hi, hi))
+            else:
+                merged.append((lo, hi))
+        return tuple(merged)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls(())
+
+    @classmethod
+    def single(cls, lo: int, hi: int) -> "IntervalSet":
+        """The closed interval ``[lo, hi]`` (empty when ``lo > hi``)."""
+        return cls(((lo, hi),))
+
+    @classmethod
+    def point(cls, value: int) -> "IntervalSet":
+        return cls(((value, value),))
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "IntervalSet":
+        return cls(tuple(pairs))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def pairs(self) -> tuple:
+        """The normalized ``(lo, hi)`` pairs (the wire representation)."""
+        return self._intervals
+
+    def __contains__(self, value: int) -> bool:
+        # Binary search over disjoint sorted intervals.
+        intervals = self._intervals
+        lo_idx, hi_idx = 0, len(intervals)
+        while lo_idx < hi_idx:
+            mid = (lo_idx + hi_idx) // 2
+            lo, hi = intervals[mid]
+            if value < lo:
+                hi_idx = mid
+            elif value > hi:
+                lo_idx = mid + 1
+            else:
+                return True
+        return False
+
+    def min(self) -> int:
+        if not self._intervals:
+            raise ValueError("empty interval set has no minimum")
+        return self._intervals[0][0]
+
+    def max(self) -> int:
+        if not self._intervals:
+            raise ValueError("empty interval set has no maximum")
+        return self._intervals[-1][1]
+
+    def count(self) -> int:
+        """Number of integers contained in the set."""
+        return sum(hi - lo + 1 for lo, hi in self._intervals)
+
+    def iter_values(self):
+        """Iterate over every contained integer (ascending)."""
+        for lo, hi in self._intervals:
+            yield from range(lo, hi + 1)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        result = []
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                result.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference ``self \\ other``."""
+        result = []
+        b = other._intervals
+        for lo, hi in self._intervals:
+            cursor = lo
+            for b_lo, b_hi in b:
+                if b_hi < cursor:
+                    continue
+                if b_lo > hi:
+                    break
+                if b_lo > cursor:
+                    result.append((cursor, b_lo - 1))
+                cursor = max(cursor, b_hi + 1)
+                if cursor > hi:
+                    break
+            if cursor <= hi:
+                result.append((cursor, hi))
+        return IntervalSet(result)
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        """True iff every value of ``self`` is in ``other``."""
+        return self.subtract(other).is_empty()
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        return not self.intersection(other).is_empty()
+
+    def clamp(self, lo: int, hi: int) -> "IntervalSet":
+        """Intersection with ``[lo, hi]`` — the windowing of Section 3.4."""
+        return self.intersection(IntervalSet.single(lo, hi))
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __len__(self) -> int:
+        """Number of disjoint intervals (not contained integers)."""
+        return len(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"[{lo},{hi}]" for lo, hi in self._intervals)
+        return f"IntervalSet({body})"

@@ -1,0 +1,156 @@
+"""Voting history, markers, and generalized endorsement intervals.
+
+Figure 4: when voting for block ``B``, a replica attaches
+``marker = max{B'.round | B' conflicts B and replica voted for B'}``
+(``0`` by default).  SFT-Streamlet (Figure 11) uses heights instead of
+rounds.  Section 3.4 generalizes the marker to the interval set
+``I = [1, r] \\ (∪_F D_F)`` with ``D_F = [r_l + 1, r_h]`` per fork
+``F``: ``r_h`` the largest round voted on ``F`` among blocks
+conflicting with ``B`` and ``r_l`` the round of the common ancestor.
+
+:class:`VotingHistory` implements both, maintaining — exactly as the
+protocol description requires ("for every fork in the blockchain, the
+replica additionally keeps the highest voted block on that fork") — the
+set of *voted tips*: voted blocks that are not ancestors of other voted
+blocks.  Tips suffice for both computations:
+
+* any voted block ``V`` conflicting with ``B`` satisfies ``V ⪯ T`` for
+  some tip ``T``; if ``T`` were an ancestor of ``B`` then so would be
+  ``V`` — contradiction — hence ``T`` conflicts with ``B`` and has key
+  (round/height) ≥ ``V``'s, so the max over conflicting tips equals the
+  max over all conflicting voted blocks;
+* the fork interval ``D_F`` of the paper is exactly
+  ``[key(common_ancestor(B, T)) + 1, key(T)]`` for the conflicting tip
+  ``T`` of that fork.
+
+A brute-force recomputation over the full vote log is kept for
+property-based cross-checks.
+"""
+
+from __future__ import annotations
+
+from repro.core.intervals import IntervalSet
+from repro.types.block import Block, BlockId
+from repro.types.chain import BlockStore
+
+
+def _key_of(block: Block, mode: str) -> int:
+    return block.round if mode == "round" else block.height
+
+
+class VotingHistory:
+    """Tracks every block one replica voted for and derives markers.
+
+    ``mode`` is ``"round"`` for SFT-DiemBFT or ``"height"`` for
+    SFT-Streamlet.
+    """
+
+    def __init__(self, store: BlockStore, mode: str = "round") -> None:
+        if mode not in ("round", "height"):
+            raise ValueError("mode must be 'round' or 'height'")
+        self._store = store
+        self._mode = mode
+        self._tips: list[BlockId] = []
+        self._all_votes: list[BlockId] = []
+        self.highest_voted_round = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_vote(self, block: Block) -> None:
+        """Record that the replica voted for ``block``.
+
+        Maintains the tip set: tips that ``block`` extends are absorbed
+        by ``block``.
+        """
+        block_id = block.id()
+        self._all_votes.append(block_id)
+        self.highest_voted_round = max(self.highest_voted_round, block.round)
+        surviving = [
+            tip
+            for tip in self._tips
+            if not self._store.is_ancestor(tip, block_id)
+        ]
+        surviving.append(block_id)
+        self._tips = surviving
+
+    def voted_tips(self) -> tuple:
+        """Current maximal voted blocks, one per live fork."""
+        return tuple(self._tips)
+
+    def vote_count(self) -> int:
+        return len(self._all_votes)
+
+    # ------------------------------------------------------------------
+    # marker (Section 3.2 / Figure 4, Figure 11)
+    # ------------------------------------------------------------------
+
+    def marker_for(self, block: Block) -> int:
+        """Marker to attach when voting for ``block`` (0 when fork-free)."""
+        block_id = block.id()
+        marker = 0
+        for tip in self._tips:
+            if self._store.conflicts(tip, block_id):
+                marker = max(marker, _key_of(self._store.get(tip), self._mode))
+        return marker
+
+    def marker_brute_force(self, block: Block) -> int:
+        """Oracle: recompute the marker from the full vote log."""
+        block_id = block.id()
+        marker = 0
+        for voted_id in self._all_votes:
+            if self._store.conflicts(voted_id, block_id):
+                marker = max(marker, _key_of(self._store.get(voted_id), self._mode))
+        return marker
+
+    # ------------------------------------------------------------------
+    # generalized intervals (Section 3.4)
+    # ------------------------------------------------------------------
+
+    def intervals_for(self, block: Block, window: int | None = None) -> IntervalSet:
+        """Endorsed-round intervals ``I`` for a vote on ``block``.
+
+        ``window = n`` restricts to the paper's "last n rounds" variant
+        ``I = [r - n, r] \\ (∪_F D_F)``; ``None`` uses the full
+        ``[1, r]`` range.  Genesis (key 0) is never part of ``I`` —
+        the genesis block needs no endorsement.
+        """
+        block_id = block.id()
+        r = _key_of(block, self._mode)
+        lo = 1 if window is None else max(1, r - window)
+        base = IntervalSet.single(lo, r)
+        excluded = []
+        for tip in self._tips:
+            if not self._store.conflicts(tip, block_id):
+                continue
+            tip_block = self._store.get(tip)
+            ancestor = self._store.common_ancestor(block_id, tip)
+            r_l = _key_of(ancestor, self._mode)
+            r_h = _key_of(tip_block, self._mode)
+            excluded.append((r_l + 1, r_h))
+        return base.subtract(IntervalSet.from_pairs(excluded))
+
+    def intervals_brute_force(
+        self, block: Block, window: int | None = None
+    ) -> IntervalSet:
+        """Oracle: intervals from the full vote log, one D per voted block.
+
+        Uses every voted conflicting block (not just tips); the result
+        must equal :meth:`intervals_for` because each voted block's
+        exclusion interval is contained in its tip's.
+        """
+        block_id = block.id()
+        r = _key_of(block, self._mode)
+        lo = 1 if window is None else max(1, r - window)
+        base = IntervalSet.single(lo, r)
+        excluded = []
+        for voted_id in self._all_votes:
+            if not self._store.conflicts(voted_id, block_id):
+                continue
+            voted = self._store.get(voted_id)
+            ancestor = self._store.common_ancestor(block_id, voted_id)
+            excluded.append(
+                (_key_of(ancestor, self._mode) + 1, _key_of(voted, self._mode))
+            )
+        return base.subtract(IntervalSet.from_pairs(excluded))

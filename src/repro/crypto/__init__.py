@@ -1,0 +1,31 @@
+"""Simulated cryptographic primitives for the SFT replication library.
+
+The paper assumes standard digital signatures, a PKI, and a
+collision-resistant hash function (Section 2).  This package provides
+in-process equivalents that preserve the *structure* of the real
+primitives — every vote, proposal and timeout is signed and verified,
+hashes chain blocks together — while staying deterministic and fast
+enough for simulations with hundreds of replicas.
+
+The signature scheme is HMAC-SHA256 keyed by a per-replica secret held
+in a :class:`~repro.crypto.registry.KeyRegistry`.  Within the simulation
+model this is unforgeable because adversarial replica code only ever
+signs through its own :class:`~repro.crypto.signatures.SigningKey`
+(enforced by construction: behaviours receive only their own key).
+"""
+
+from repro.crypto.hashing import HashDigest, hash_bytes, hash_fields
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.serialization import canonical_bytes
+from repro.crypto.signatures import Signature, SigningKey, VerifyingKey
+
+__all__ = [
+    "HashDigest",
+    "hash_bytes",
+    "hash_fields",
+    "canonical_bytes",
+    "Signature",
+    "SigningKey",
+    "VerifyingKey",
+    "KeyRegistry",
+]

@@ -1,0 +1,54 @@
+"""Collision-resistant hashing over canonical serializations.
+
+Blocks are chained by hash digests (Section 2.1: ``B_k`` contains
+``H(B_{k-1})``), so digests must be stable, comparable, and cheap to
+use as dictionary keys.  :class:`HashDigest` wraps the raw SHA-256
+output with a readable hex form used throughout logs and tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.serialization import canonical_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class HashDigest:
+    """An immutable 32-byte SHA-256 digest usable as a dict key."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, bytes) or len(self.value) != 32:
+            raise ValueError("HashDigest requires exactly 32 bytes")
+
+    def hex(self) -> str:
+        """Return the full hexadecimal form of the digest."""
+        return self.value.hex()
+
+    def short(self) -> str:
+        """Return an abbreviated hex prefix for human-readable output."""
+        return self.value.hex()[:10]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.short()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashDigest({self.short()}…)"
+
+
+def hash_bytes(data: bytes) -> HashDigest:
+    """Hash raw bytes with SHA-256."""
+    return HashDigest(hashlib.sha256(data).digest())
+
+
+def hash_fields(*fields) -> HashDigest:
+    """Hash a tuple of fields via the canonical serialization.
+
+    This is the hash function applied to blocks and messages; the
+    canonical encoding guarantees that structurally different inputs
+    cannot collide at the serialization layer.
+    """
+    return hash_bytes(canonical_bytes(*fields))

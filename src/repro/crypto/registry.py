@@ -1,0 +1,67 @@
+"""Public-key infrastructure for a fixed permissioned replica set.
+
+Section 2 assumes "a public-key infrastructure exists to certify each
+party's public key".  :class:`KeyRegistry` plays that role: it mints
+one deterministic key pair per replica and serves verification keys to
+everyone.  It also provides the quorum-level checks used when
+validating quorum certificates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.crypto.signatures import Signature, SigningKey, VerifyingKey
+
+
+class KeyRegistry:
+    """Key directory for ``n`` replicas, ids ``0 .. n-1``.
+
+    Secrets are derived from a registry seed so that two registries
+    built with the same ``(n, seed)`` are interchangeable — handy for
+    reconstructing verification state in tests and light clients.
+    """
+
+    def __init__(self, n: int, seed: bytes = b"repro-sft") -> None:
+        if n <= 0:
+            raise ValueError("registry needs at least one replica")
+        self.n = n
+        self._signing_keys = []
+        self._verifying_keys = []
+        for replica_id in range(n):
+            secret = hashlib.sha256(seed + b"|" + str(replica_id).encode()).digest()
+            key = SigningKey(replica_id, secret)
+            self._signing_keys.append(key)
+            self._verifying_keys.append(key.verifying_key())
+
+    def signing_key(self, replica_id: int) -> SigningKey:
+        """Return the private key of ``replica_id`` (simulation only)."""
+        return self._signing_keys[replica_id]
+
+    def verifying_key(self, replica_id: int) -> VerifyingKey:
+        """Return the public key of ``replica_id``."""
+        return self._verifying_keys[replica_id]
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Verify one signature against the registered key of its signer."""
+        if not 0 <= signature.signer < self.n:
+            return False
+        return self._verifying_keys[signature.signer].verify(message, signature)
+
+    def verify_quorum(
+        self, message: bytes, signatures: Iterable[Signature], quorum: int
+    ) -> bool:
+        """Check that ``signatures`` contains a valid quorum over ``message``.
+
+        Requires at least ``quorum`` *distinct* valid signers.  Invalid
+        or duplicate signatures are ignored rather than rejected
+        outright, matching how a QC aggregator behaves.
+        """
+        valid_signers = set()
+        for signature in signatures:
+            if signature.signer in valid_signers:
+                continue
+            if self.verify(message, signature):
+                valid_signers.add(signature.signer)
+        return len(valid_signers) >= quorum

@@ -1,0 +1,87 @@
+"""Canonical byte serialization for hashing and signing.
+
+Protocol messages must map to a unique byte string so that hashes and
+signatures are well defined.  We use a small self-describing, canonical
+encoding (a deterministic subset of what a production system would do
+with protobuf or BCS — Diem's Binary Canonical Serialization).
+
+Supported value types: ``None``, ``bool``, ``int``, ``str``, ``bytes``,
+``float`` (fixed 8-byte big-endian IEEE 754), and (nested) tuples/lists
+of those.  Dictionaries are intentionally unsupported: ordering
+ambiguity is exactly what canonical encodings must avoid, so callers
+serialize explicit field tuples instead.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_TAG_NONE = b"N"
+_TAG_FALSE = b"F"
+_TAG_TRUE = b"T"
+_TAG_INT = b"I"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_FLOAT = b"D"
+_TAG_SEQ = b"L"
+
+
+class SerializationError(TypeError):
+    """Raised when a value cannot be canonically serialized."""
+
+
+def _encode_length(n: int) -> bytes:
+    return struct.pack(">I", n)
+
+
+def _encode_into(value, out: list) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        # Variable-length two's-complement big-endian integer.
+        width = max(1, (value.bit_length() + 8) // 8)
+        body = value.to_bytes(width, "big", signed=True)
+        out.append(_TAG_INT)
+        out.append(_encode_length(len(body)))
+        out.append(body)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.append(struct.pack(">d", value))
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.append(_encode_length(len(body)))
+        out.append(body)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        body = bytes(value)
+        out.append(_TAG_BYTES)
+        out.append(_encode_length(len(body)))
+        out.append(body)
+    elif isinstance(value, (tuple, list)):
+        out.append(_TAG_SEQ)
+        out.append(_encode_length(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    else:
+        raise SerializationError(
+            "cannot canonically serialize value of type %r" % type(value).__name__
+        )
+
+
+def canonical_bytes(*fields) -> bytes:
+    """Return the canonical byte encoding of ``fields``.
+
+    The encoding is injective over the supported types: distinct field
+    tuples always map to distinct byte strings, so it is safe to hash or
+    sign the result.
+
+    >>> canonical_bytes(1, "a") != canonical_bytes((1, "a"))
+    True
+    """
+    out: list = []
+    _encode_into(tuple(fields), out)
+    return b"".join(out)

@@ -1,0 +1,80 @@
+"""Simulated digital signatures (HMAC-SHA256 under per-replica secrets).
+
+The protocol layer treats these exactly like real signatures: a replica
+signs message bytes with its :class:`SigningKey`; anyone holding the
+matching :class:`VerifyingKey` checks the signature.  Unforgeability
+holds *within the simulation model* because adversary behaviours are
+only ever handed their own signing keys (see ``repro.adversary``).
+
+A production deployment would swap this module for Ed25519 with no
+change to the protocol code — the interface (sign/verify over canonical
+bytes) is the same.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """A signature over some message bytes by one replica."""
+
+    signer: int
+    value: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Signature(signer={self.signer}, {self.value.hex()[:8]}…)"
+
+
+class SigningKey:
+    """Private signing key of a single replica.
+
+    The secret is derived deterministically from a seed and the replica
+    id so that simulations are reproducible.
+    """
+
+    __slots__ = ("replica_id", "_secret")
+
+    def __init__(self, replica_id: int, secret: bytes) -> None:
+        self.replica_id = replica_id
+        self._secret = secret
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``message`` and return a :class:`Signature`."""
+        mac = hmac.new(self._secret, message, hashlib.sha256).digest()
+        return Signature(signer=self.replica_id, value=mac)
+
+    def verifying_key(self) -> "VerifyingKey":
+        """Return the matching public verification key."""
+        return VerifyingKey(self.replica_id, self._secret)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SigningKey(replica={self.replica_id})"
+
+
+class VerifyingKey:
+    """Public verification key of a single replica.
+
+    With HMAC the "public" key necessarily embeds the secret; the class
+    split still mirrors a real PKI so the protocol code never signs with
+    a verifying key.
+    """
+
+    __slots__ = ("replica_id", "_secret")
+
+    def __init__(self, replica_id: int, secret: bytes) -> None:
+        self.replica_id = replica_id
+        self._secret = secret
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Return ``True`` iff ``signature`` is valid for ``message``."""
+        if signature.signer != self.replica_id:
+            return False
+        expected = hmac.new(self._secret, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VerifyingKey(replica={self.replica_id})"

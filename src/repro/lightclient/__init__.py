@@ -1,0 +1,10 @@
+"""Light-client proofs of strong commits (Section 5)."""
+
+from repro.lightclient.proofs import (
+    LightClient,
+    ProofError,
+    StrongCommitProof,
+    build_proof,
+)
+
+__all__ = ["LightClient", "StrongCommitProof", "ProofError", "build_proof"]

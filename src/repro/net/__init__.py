@@ -1,0 +1,32 @@
+"""Discrete-event network substrate.
+
+This package replaces the paper's 100-node EC2 deployment: a
+deterministic event-driven simulator (:mod:`repro.net.simulator`),
+geo-distribution delay models matching Figure 6
+(:mod:`repro.net.topology`), and a message-passing layer with GST
+semantics, jitter, bandwidth serialization and partitions
+(:mod:`repro.net.network`).
+"""
+
+from repro.net.simulator import Simulator, TimerHandle
+from repro.net.network import Network, NetworkConfig, wire_size_bytes
+from repro.net.topology import (
+    AsymmetricTopology,
+    RegionTopology,
+    SymmetricTopology,
+    Topology,
+    UniformTopology,
+)
+
+__all__ = [
+    "Simulator",
+    "TimerHandle",
+    "Network",
+    "NetworkConfig",
+    "wire_size_bytes",
+    "Topology",
+    "UniformTopology",
+    "RegionTopology",
+    "SymmetricTopology",
+    "AsymmetricTopology",
+]

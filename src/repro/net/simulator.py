@@ -1,0 +1,97 @@
+"""Deterministic discrete-event simulator.
+
+A single priority queue of ``(time, seq, callback)`` entries; ``seq``
+is a monotonically increasing tie-breaker so same-time events run in
+schedule order, making every run fully deterministic for a fixed seed.
+
+Simulated time is a float in seconds.  The simulator knows nothing
+about replicas or messages — the network layer and the cluster runtime
+schedule closures on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class TimerHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("cancelled", "fire_at")
+
+    def __init__(self, fire_at: float) -> None:
+        self.cancelled = False
+        self.fire_at = fire_at
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop over simulated time."""
+
+    def __init__(self) -> None:
+        self._queue: list = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule_at(self, time: float, callback, *args) -> TimerHandle:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        handle = TimerHandle(time)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
+        return handle
+
+    def schedule_in(self, delay: float, callback, *args) -> TimerHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            time, _seq, handle, callback, args = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            callback(*args)
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Run events with ``time <= deadline``; leaves ``now = deadline``.
+
+        Events scheduled exactly at the deadline do run.
+        """
+        while self._queue:
+            time, _seq, handle, _callback, _args = self._queue[0]
+            if time > deadline:
+                break
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            self.step()
+        if self.now < deadline:
+            self.now = deadline
+
+    def run_until_idle(self, max_events: int | None = None) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        ``max_events`` guards against livelock in tests of misbehaving
+        protocols (e.g. a pacemaker that keeps timing out forever).
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return executed

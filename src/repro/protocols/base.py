@@ -1,0 +1,142 @@
+"""The chain-based BFT SMR prototype (Figure 1) and replica plumbing.
+
+Every protocol replica is an event-driven state machine: the network
+calls :meth:`BaseReplica.deliver` and the simulator fires timers via
+:meth:`BaseReplica.on_timer`.  Concrete protocols fill in the
+protocol-specific rules — proposing, voting, locking, committing, and
+round synchronization — exactly the holes the paper's prototype leaves
+open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.registry import KeyRegistry
+from repro.net.network import Network
+from repro.net.simulator import Simulator, TimerHandle
+
+
+def round_robin_leader(round_number: int, n: int) -> int:
+    """The paper's leader election: round-robin rotation."""
+    return round_number % n
+
+
+@dataclass(slots=True)
+class ReplicaConfig:
+    """Static per-replica configuration.
+
+    ``f`` is the assumed Byzantine bound with ``n = 3f + 1`` replicas
+    (quorums have ``2f + 1``).  Knobs:
+
+    * ``round_timeout`` / ``timeout_multiplier`` / ``max_timeout`` —
+      pacemaker timer policy;
+    * ``qc_extra_wait`` — Section 4.2: leaders delay QC formation this
+      many seconds after reaching ``2f + 1`` votes to fold in straggler
+      votes (0 disables);
+    * ``generalized_intervals`` / ``interval_window`` — Section 3.4
+      strong-vote mode;
+    * ``observer`` — whether this replica pays for endorsement /
+      strength bookkeeping (metrics); protocol behaviour is unaffected;
+    * ``verify_signatures`` — validate every signature on receipt
+      (on for tests; large benches may disable for speed);
+    * ``block_batch_count`` / ``block_batch_bytes`` — synthetic payload
+      shape (the paper's ~1000 txns / ~450 KB per block).
+    """
+
+    n: int
+    f: int
+    round_timeout: float = 1.0
+    timeout_multiplier: float = 1.5
+    max_timeout: float = 8.0
+    qc_extra_wait: float = 0.0
+    generalized_intervals: bool = False
+    interval_window: int | None = None
+    observer: bool = True
+    verify_signatures: bool = True
+    drop_stale_messages: bool = True
+    block_batch_count: int = 1000
+    block_batch_bytes: int = 450_000
+    leader_fn: object = field(default=None)
+
+    def quorum(self) -> int:
+        return 2 * self.f + 1
+
+    def leader_of(self, round_number: int) -> int:
+        if self.leader_fn is not None:
+            return self.leader_fn(round_number, self.n)
+        return round_robin_leader(round_number, self.n)
+
+
+class ReplicaContext:
+    """Everything a replica may do to the outside world.
+
+    Wraps the network and simulator so protocol code never touches
+    global state; this is also the seam fault-injection tests use.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        network: Network,
+        simulator: Simulator,
+        registry: KeyRegistry,
+    ) -> None:
+        self.replica_id = replica_id
+        self.network = network
+        self.simulator = simulator
+        self.registry = registry
+        self.signing_key = registry.signing_key(replica_id)
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def send(self, dst: int, message) -> None:
+        self.network.send(self.replica_id, dst, message)
+
+    def multicast(self, message, include_self: bool = True) -> None:
+        self.network.multicast(self.replica_id, message, include_self=include_self)
+
+    def set_timer(self, delay: float, callback, *args) -> TimerHandle:
+        return self.simulator.schedule_in(delay, callback, *args)
+
+
+class BaseReplica:
+    """Common lifecycle for every protocol replica."""
+
+    def __init__(self, config: ReplicaConfig, context: ReplicaContext) -> None:
+        self.config = config
+        self.context = context
+        self.replica_id = context.replica_id
+        self.crashed = False
+        self.crash_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Called once when the simulation begins."""
+        raise NotImplementedError
+
+    def crash(self) -> None:
+        """Benign (crash) fault: the replica stops entirely."""
+        self.crashed = True
+        self.context.network.unregister(self.replica_id)
+
+    def deliver(self, src: int, message) -> None:
+        """Network entry point; dispatches to ``on_message``."""
+        if self.crashed:
+            return
+        self.on_message(src, message)
+
+    # ------------------------------------------------------------------
+    # protocol-specific holes (Figure 1)
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: int, message) -> None:
+        raise NotImplementedError
+
+    def on_timer(self, tag) -> None:
+        raise NotImplementedError

@@ -1,0 +1,5 @@
+"""DiemBFT (LibraBFT) — the chained HotStuff substrate (Figure 2)."""
+
+from repro.protocols.diembft.replica import DiemBFTReplica
+
+__all__ = ["DiemBFTReplica"]

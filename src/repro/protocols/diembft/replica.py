@@ -1,0 +1,434 @@
+"""The DiemBFT replica (Figure 2).
+
+State: highest voted round ``r_vote``, highest locked round ``r_lock``,
+current round (owned by the pacemaker), and the highest known QC
+``qc_high``.
+
+Rules, verbatim from the paper:
+
+* **Proposing** — the round leader multicasts a block extending the
+  highest certified block (certified by ``qc_high``).
+* **Voting** — on the first valid round-``r`` proposal, send a vote to
+  the *next* leader iff ``r > r_vote`` and ``parent.round >= r_lock``.
+* **Locking** — on a valid QC, ``r_lock = max(r_lock, parent-of-
+  certified-block.round)`` (2-chain lock) and ``qc_high`` is raised.
+* **Commit** — the 3-chain rule (three adjacent certified blocks with
+  consecutive rounds), delegated to
+  :class:`~repro.core.commit_rules.CommitTracker`.
+* **Synchronization** — advance on a QC of the previous round or a
+  timeout certificate; delegated to
+  :class:`~repro.protocols.pacemaker.Pacemaker`.
+
+The class is written to be subclassed: SFT-DiemBFT overrides vote
+construction and certification hooks; the FBFT baseline overrides late
+vote handling.
+"""
+
+from __future__ import annotations
+
+from repro.core.commit_rules import CommitTracker
+from repro.protocols.base import BaseReplica, ReplicaConfig, ReplicaContext
+from repro.protocols.pacemaker import Pacemaker, PacemakerConfig
+from repro.types.block import Block, BlockId, make_genesis
+from repro.types.chain import BlockStore
+from repro.types.messages import (
+    ProposalMsg,
+    TimeoutMsg,
+    VoteMsg,
+)
+from repro.types.quorum_cert import QuorumCertificate
+from repro.types.transaction import Payload, TxBatch
+from repro.types.vote import Vote
+
+
+class DiemBFTReplica(BaseReplica):
+    """One DiemBFT replica driven by the simulated network."""
+
+    def __init__(self, config: ReplicaConfig, context: ReplicaContext) -> None:
+        super().__init__(config, context)
+        genesis, genesis_qc = make_genesis()
+        self.genesis = genesis
+        self.store = BlockStore(genesis, genesis_qc)
+        self.qc_high = genesis_qc
+        self.r_vote = 0
+        self.r_lock = 0
+        self.pacemaker = Pacemaker(
+            PacemakerConfig(
+                base_timeout=config.round_timeout,
+                multiplier=config.timeout_multiplier,
+                max_timeout=config.max_timeout,
+                quorum=config.quorum(),
+                join_threshold=config.f + 1,
+            ),
+            context,
+            on_new_round=self._on_new_round,
+            on_local_timeout=self._on_local_timeout,
+        )
+        self.commit_tracker = self._make_commit_tracker()
+        self.payload_source = self._default_payload
+        # Vote aggregation (this replica acting as a collector).
+        self._collected_votes: dict[BlockId, dict[int, object]] = {}
+        self._vote_block_info: dict[BlockId, tuple] = {}
+        self._formed_qcs: set[BlockId] = set()
+        self._pending_qc_forms: set[BlockId] = set()
+        # Replica-level idempotence and orphan handling.
+        self._qcs_processed: set[BlockId] = set()
+        self._pending_qcs: dict[BlockId, QuorumCertificate] = {}
+        self._orphan_proposals: dict[BlockId, ProposalMsg] = {}
+        # Statistics.
+        self.blocks_proposed = 0
+        self.votes_sent = 0
+        self.timeouts_sent = 0
+        self.invalid_messages = 0
+
+    # ------------------------------------------------------------------
+    # construction hooks (overridden by subclasses)
+    # ------------------------------------------------------------------
+
+    def _make_commit_tracker(self) -> CommitTracker:
+        return CommitTracker(self.store, self.config.f, rule="diembft")
+
+    def _make_vote(self, block: Block):
+        """Build this protocol's vote for ``block`` (plain DiemBFT vote)."""
+        vote = Vote(
+            block_id=block.id(),
+            block_round=block.round,
+            height=block.height,
+            voter=self.replica_id,
+        )
+        return self._sign_vote(vote)
+
+    def _sign_vote(self, vote):
+        signature = self.context.signing_key.sign(vote.signing_payload())
+        # Frozen dataclasses: rebuild with the signature attached.
+        return type(vote)(
+            **{
+                field: getattr(vote, field)
+                for field in vote.__dataclass_fields__
+                if field != "signature"
+            },
+            signature=signature,
+        )
+
+    def _after_vote(self, block: Block) -> None:
+        """Hook: called after this replica votes for ``block``."""
+
+    def _on_new_certification(self, qc: QuorumCertificate, now: float) -> None:
+        """Hook: a QC for a known block was recorded for the first time."""
+        self.commit_tracker.on_new_qc(qc, now)
+
+    def _on_late_vote(self, vote) -> None:
+        """Hook: a vote arrived for a block whose QC already formed."""
+
+    def _proposal_commit_log(self) -> tuple:
+        """Hook: light-client commit log to embed in proposals (§5)."""
+        return ()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.pacemaker.start()
+
+    def _default_payload(self, now: float) -> Payload:
+        return Payload(
+            batch=TxBatch(
+                count=self.config.block_batch_count,
+                size_bytes=self.config.block_batch_bytes,
+                created_at=now,
+                tag=self.replica_id,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # round transitions
+    # ------------------------------------------------------------------
+
+    def _on_new_round(self, round_number: int, reason: str) -> None:
+        if self.crashed:
+            return
+        if self.config.leader_of(round_number) == self.replica_id:
+            self._propose(round_number, reason)
+
+    def _propose(self, round_number: int, reason: str) -> None:
+        parent_qc = self.qc_high
+        block = Block(
+            parent_id=parent_qc.block_id,
+            qc=parent_qc,
+            round=round_number,
+            height=parent_qc.height + 1,
+            proposer=self.replica_id,
+            payload=self.payload_source(self.context.now),
+            created_at=self.context.now,
+            commit_log=self._proposal_commit_log(),
+        )
+        tc = None
+        if parent_qc.round != round_number - 1:
+            tc = self.pacemaker.known_tc(round_number - 1)
+        proposal = ProposalMsg(
+            sender=self.replica_id, round=round_number, block=block, tc=tc
+        )
+        signature = self.context.signing_key.sign(proposal.signing_payload())
+        proposal = ProposalMsg(
+            sender=proposal.sender,
+            round=proposal.round,
+            block=proposal.block,
+            tc=proposal.tc,
+            signature=signature,
+        )
+        self.blocks_proposed += 1
+        self.context.multicast(proposal, include_self=True)
+
+    def _on_local_timeout(self, round_number: int) -> None:
+        if self.crashed:
+            return
+        timeout = TimeoutMsg(
+            sender=self.replica_id,
+            round=round_number,
+            qc_high=self.qc_high,
+        )
+        signature = self.context.signing_key.sign(timeout.signing_payload())
+        timeout = TimeoutMsg(
+            sender=timeout.sender,
+            round=timeout.round,
+            qc_high=timeout.qc_high,
+            signature=signature,
+        )
+        self.timeouts_sent += 1
+        self.context.multicast(timeout, include_self=True)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: int, message) -> None:
+        if isinstance(message, ProposalMsg):
+            self._on_proposal(src, message)
+        elif isinstance(message, VoteMsg):
+            self._on_vote(src, message)
+        elif isinstance(message, TimeoutMsg):
+            self._on_timeout_msg(src, message)
+        else:
+            self._on_other_message(src, message)
+
+    def _on_other_message(self, src: int, message) -> None:
+        """Hook for subclass-specific message types."""
+        del src, message
+
+    def on_timer(self, tag) -> None:  # timers are closures in this design
+        del tag
+
+    # ------------------------------------------------------------------
+    # proposals
+    # ------------------------------------------------------------------
+
+    def _on_proposal(self, src: int, msg: ProposalMsg) -> None:
+        if not self._validate_proposal(src, msg):
+            self.invalid_messages += 1
+            return
+        if (
+            self.config.drop_stale_messages
+            and msg.round < self.pacemaker.current_round
+            and not self.store.is_awaited(msg.block.id())
+        ):
+            # Real DiemBFT rejects proposals for rounds it has moved
+            # past; the exception keeps a block that a buffered orphan
+            # is waiting for (possible under delivery reordering).
+            return
+        if msg.tc is not None:
+            self.pacemaker.note_tc(msg.tc)
+            self.pacemaker.advance_on_tc(msg.tc)
+
+        block = msg.block
+        # Remember the proposal; the generic inserted-block path votes
+        # on it, whether insertion happens now or when a missing parent
+        # arrives (orphan flush).
+        self._orphan_proposals.setdefault(block.id(), msg)
+        inserted = self.store.add_block(block)
+        if inserted:
+            self._handle_inserted_blocks(inserted)
+
+    def _validate_proposal(self, src: int, msg: ProposalMsg) -> bool:
+        block = msg.block
+        if block.is_genesis() or block.qc is None:
+            return False
+        if block.round != msg.round or block.proposer != msg.sender:
+            return False
+        if src != msg.sender:
+            return False
+        if self.config.leader_of(msg.round) != msg.sender:
+            return False
+        if block.qc.block_id != block.parent_id:
+            return False
+        if self.config.verify_signatures:
+            if msg.signature is None or not self.context.registry.verify(
+                msg.signing_payload(), msg.signature
+            ):
+                return False
+            if not block.qc.validate(self.context.registry, self.config.quorum()):
+                return False
+        return True
+
+    def _handle_inserted_blocks(self, inserted) -> None:
+        """Process QC effects and voting for each newly stored block."""
+        now = self.context.now
+        for block in inserted:
+            if block.qc is not None:
+                self._process_qc(block.qc, now)
+            pending_qc = self._pending_qcs.pop(block.id(), None)
+            if pending_qc is not None:
+                self._process_qc(pending_qc, now)
+        # Voting happens after all certification state is updated.
+        for block in inserted:
+            msg = self._orphan_proposals.pop(block.id(), None)
+            if msg is not None:
+                self._maybe_vote(msg)
+
+    # ------------------------------------------------------------------
+    # voting
+    # ------------------------------------------------------------------
+
+    def _maybe_vote(self, msg: ProposalMsg) -> None:
+        block = msg.block
+        round_number = block.round
+        if self.pacemaker.has_timed_out(round_number):
+            return
+        if round_number != self.pacemaker.current_round:
+            return
+        if round_number <= self.r_vote:
+            return
+        parent = self.store.maybe_get(block.parent_id)
+        if parent is None:
+            return
+        if parent.round < self.r_lock:
+            return
+        if not self._validate_payload(block):
+            return
+        vote = self._make_vote(block)
+        self.r_vote = round_number
+        self.votes_sent += 1
+        self._after_vote(block)
+        next_leader = self.config.leader_of(round_number + 1)
+        self.context.send(next_leader, VoteMsg(sender=self.replica_id, vote=vote))
+
+    def _validate_payload(self, block: Block) -> bool:
+        """External validity hook (Section 2); accepts everything by default."""
+        del block
+        return True
+
+    # ------------------------------------------------------------------
+    # vote collection (this replica as the round-(r+1) leader)
+    # ------------------------------------------------------------------
+
+    def _on_vote(self, src: int, msg: VoteMsg) -> None:
+        vote = msg.vote
+        if src != vote.voter or not 0 <= vote.voter < self.config.n:
+            self.invalid_messages += 1
+            return
+        if self.config.verify_signatures:
+            if vote.signature is None or not self.context.registry.verify(
+                vote.signing_payload(), vote.signature
+            ):
+                self.invalid_messages += 1
+                return
+        if self.config.leader_of(vote.block_round + 1) != self.replica_id:
+            return  # not the collector for this round
+        block_id = vote.block_id
+        if block_id in self._formed_qcs:
+            self._on_late_vote(vote)
+            return
+        bucket = self._collected_votes.setdefault(block_id, {})
+        bucket[vote.voter] = vote
+        self._vote_block_info[block_id] = (vote.block_round, vote.height)
+        if len(bucket) < self.config.quorum():
+            return
+        if self.config.qc_extra_wait > 0:
+            if block_id not in self._pending_qc_forms:
+                self._pending_qc_forms.add(block_id)
+                self.context.set_timer(
+                    self.config.qc_extra_wait, self._form_qc, block_id
+                )
+        else:
+            self._form_qc(block_id)
+
+    def _form_qc(self, block_id: BlockId) -> None:
+        if self.crashed or block_id in self._formed_qcs:
+            return
+        bucket = self._collected_votes.pop(block_id, None)
+        self._pending_qc_forms.discard(block_id)
+        if bucket is None or len(bucket) < self.config.quorum():
+            return
+        round_number, height = self._vote_block_info.pop(block_id)
+        votes = tuple(bucket[voter] for voter in sorted(bucket))
+        qc = QuorumCertificate(
+            block_id=block_id, round=round_number, height=height, votes=votes
+        )
+        self._formed_qcs.add(block_id)
+        self._process_qc(qc, self.context.now)
+
+    # ------------------------------------------------------------------
+    # QC processing (locking rule + synchronization rule)
+    # ------------------------------------------------------------------
+
+    def _process_qc(self, qc: QuorumCertificate, now: float) -> None:
+        if qc.round > self.qc_high.round:
+            self.qc_high = qc
+        certified = self.store.maybe_get(qc.block_id)
+        if certified is not None:
+            if certified.parent_id is not None:
+                parent = self.store.maybe_get(certified.parent_id)
+                if parent is not None and parent.round > self.r_lock:
+                    self.r_lock = parent.round
+            if qc.block_id not in self._qcs_processed:
+                self._qcs_processed.add(qc.block_id)
+                self.store.record_qc(qc)
+                self._on_new_certification(qc, now)
+        else:
+            self._pending_qcs.setdefault(qc.block_id, qc)
+        self.pacemaker.advance_on_qc(qc.round)
+
+    # ------------------------------------------------------------------
+    # timeouts
+    # ------------------------------------------------------------------
+
+    def _on_timeout_msg(self, src: int, msg: TimeoutMsg) -> None:
+        if src != msg.sender:
+            self.invalid_messages += 1
+            return
+        if self.config.verify_signatures:
+            if msg.signature is None or not self.context.registry.verify(
+                msg.signing_payload(), msg.signature
+            ):
+                self.invalid_messages += 1
+                return
+        if (
+            self.config.drop_stale_messages
+            and msg.round < self.pacemaker.current_round
+        ):
+            return  # timeout for a round this replica already left
+        self._process_qc(msg.qc_high, self.context.now)
+        tc = self.pacemaker.record_timeout_vote(
+            msg.round, msg.sender, msg.qc_high.round
+        )
+        if tc is not None:
+            self.pacemaker.advance_on_tc(tc)
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by runtime/metrics/tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def current_round(self) -> int:
+        return self.pacemaker.current_round
+
+    def committed_blocks(self) -> list:
+        return list(self.commit_tracker.commit_order)
+
+    def committed_tx_count(self) -> int:
+        total = 0
+        for event in self.commit_tracker.commit_order:
+            block = self.store.maybe_get(event.block_id)
+            if block is not None:
+                total += block.payload.tx_count()
+        return total

@@ -1,0 +1,5 @@
+"""FBFT adapted to DiemBFT (Appendix B) — the quadratic baseline."""
+
+from repro.protocols.fbft.replica import DirectVoteTracker, FBFTDiemBFTReplica
+
+__all__ = ["FBFTDiemBFTReplica", "DirectVoteTracker"]

@@ -1,0 +1,5 @@
+"""SFT-DiemBFT — strengthened fault tolerance for DiemBFT (Figure 4)."""
+
+from repro.protocols.sft_diembft.replica import SFTDiemBFTReplica
+
+__all__ = ["SFTDiemBFTReplica"]

@@ -1,0 +1,5 @@
+"""SFT-Streamlet — strengthened fault tolerance for Streamlet (Figure 11)."""
+
+from repro.protocols.sft_streamlet.replica import SFTStreamletReplica
+
+__all__ = ["SFTStreamletReplica"]

@@ -1,0 +1,5 @@
+"""Streamlet — textbook streamlined blockchain (Figure 10)."""
+
+from repro.protocols.streamlet.replica import StreamletConfig, StreamletReplica
+
+__all__ = ["StreamletReplica", "StreamletConfig"]

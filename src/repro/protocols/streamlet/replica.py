@@ -1,0 +1,332 @@
+"""The Streamlet replica (Figure 10).
+
+Streamlet trades performance for simplicity:
+
+* **lock-step rounds** of duration ``2Δ`` (Δ = assumed maximum network
+  delay after GST) — the pacemaker is a fixed-interval clock, no
+  timeout messages;
+* the leader proposes extending **the longest certified chain** it
+  knows;
+* replicas vote (by **multicast**, not to a collector) for the first
+  round-``r`` proposal iff it extends one of the longest certified
+  chains they have seen;
+* every replica aggregates votes and forms QCs locally;
+* an **echo mechanism** re-multicasts every previously unseen message,
+  giving the O(n³) per-round message complexity the paper cites;
+* **commit rule**: three adjacent certified blocks at consecutive
+  rounds commit the *middle* block and its ancestors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commit_rules import CommitTracker
+from repro.protocols.base import BaseReplica, ReplicaConfig, ReplicaContext
+from repro.types.block import Block, BlockId
+from repro.types.chain import BlockStore
+from repro.types.messages import EchoMsg, ProposalMsg, VoteMsg
+from repro.types.quorum_cert import QuorumCertificate
+from repro.types.transaction import Payload, TxBatch
+from repro.types.vote import Vote
+from repro.types.block import make_genesis
+
+
+@dataclass(slots=True)
+class StreamletConfig(ReplicaConfig):
+    """Streamlet adds the lock-step round duration (``2Δ``)."""
+
+    round_duration: float = 0.5
+    echo_enabled: bool = True
+
+
+class StreamletReplica(BaseReplica):
+    """One Streamlet replica on the simulated network."""
+
+    def __init__(self, config: StreamletConfig, context: ReplicaContext) -> None:
+        super().__init__(config, context)
+        genesis, genesis_qc = make_genesis()
+        self.genesis = genesis
+        self.store = BlockStore(genesis, genesis_qc)
+        self.store.record_qc(genesis_qc)
+        self.current_round = 0
+        self.commit_tracker = self._make_commit_tracker()
+        self.payload_source = self._default_payload
+        self._voted_rounds: set[int] = set()
+        self._collected_votes: dict[BlockId, dict[int, object]] = {}
+        self._vote_block_info: dict[BlockId, tuple] = {}
+        self._formed_qcs: set[BlockId] = set()
+        self._qcs_processed: set[BlockId] = set()
+        self._pending_qcs: dict[BlockId, QuorumCertificate] = {}
+        self._orphan_proposals: dict[BlockId, ProposalMsg] = {}
+        self._seen_message_keys: set = set()
+        self.blocks_proposed = 0
+        self.votes_sent = 0
+        self.invalid_messages = 0
+
+    # ------------------------------------------------------------------
+    # construction hooks (overridden by SFT-Streamlet)
+    # ------------------------------------------------------------------
+
+    def _make_commit_tracker(self) -> CommitTracker:
+        return CommitTracker(self.store, self.config.f, rule="streamlet")
+
+    def _make_vote(self, block: Block):
+        vote = Vote(
+            block_id=block.id(),
+            block_round=block.round,
+            height=block.height,
+            voter=self.replica_id,
+        )
+        return self._sign_vote(vote)
+
+    def _sign_vote(self, vote):
+        signature = self.context.signing_key.sign(vote.signing_payload())
+        return type(vote)(
+            **{
+                field: getattr(vote, field)
+                for field in vote.__dataclass_fields__
+                if field != "signature"
+            },
+            signature=signature,
+        )
+
+    def _after_vote(self, block: Block) -> None:
+        """Hook: called after voting for ``block``."""
+
+    def _on_new_certification(self, qc: QuorumCertificate, now: float) -> None:
+        self.commit_tracker.on_new_qc(qc, now)
+
+    def _ingest_vote_for_endorsement(self, vote, now: float) -> None:
+        """Hook: SFT-Streamlet feeds every observed vote to its tracker."""
+
+    # ------------------------------------------------------------------
+    # lifecycle: lock-step rounds
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._enter_round(1)
+
+    def _default_payload(self, now: float) -> Payload:
+        return Payload(
+            batch=TxBatch(
+                count=self.config.block_batch_count,
+                size_bytes=self.config.block_batch_bytes,
+                created_at=now,
+                tag=self.replica_id,
+            )
+        )
+
+    def _enter_round(self, round_number: int) -> None:
+        if self.crashed:
+            return
+        self.current_round = round_number
+        if self.config.leader_of(round_number) == self.replica_id:
+            self._propose(round_number)
+        self.context.set_timer(
+            self.config.round_duration, self._enter_round, round_number + 1
+        )
+
+    def _propose(self, round_number: int) -> None:
+        parent = self._choose_parent()
+        parent_qc = self.store.qc_for(parent.id())
+        if parent_qc is None:
+            return  # cannot justify the extension; skip the slot
+        block = Block(
+            parent_id=parent.id(),
+            qc=parent_qc,
+            round=round_number,
+            height=parent.height + 1,
+            proposer=self.replica_id,
+            payload=self.payload_source(self.context.now),
+            created_at=self.context.now,
+        )
+        proposal = ProposalMsg(
+            sender=self.replica_id, round=round_number, block=block
+        )
+        signature = self.context.signing_key.sign(proposal.signing_payload())
+        proposal = ProposalMsg(
+            sender=proposal.sender,
+            round=proposal.round,
+            block=proposal.block,
+            signature=signature,
+        )
+        self.blocks_proposed += 1
+        self.context.multicast(proposal, include_self=True)
+
+    def _choose_parent(self) -> Block:
+        """Tip of the longest certified chain (deterministic tiebreak)."""
+        tips = self.store.longest_certified_tips()
+        if not tips:
+            return self.genesis
+        return max(tips, key=lambda block: (block.round, block.id().hex()))
+
+    # ------------------------------------------------------------------
+    # message handling (+ echo)
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: int, message) -> None:
+        if isinstance(message, EchoMsg):
+            # Unwrap; authenticity comes from the inner signature.
+            self._handle_protocol_message(message.origin, message.inner, echoed=True)
+        else:
+            self._handle_protocol_message(src, message, echoed=False)
+
+    def on_timer(self, tag) -> None:
+        del tag
+
+    def _message_key(self, message):
+        if isinstance(message, ProposalMsg):
+            return ("proposal", message.block.id())
+        if isinstance(message, VoteMsg):
+            return ("vote", message.vote.block_id, message.vote.voter)
+        return None
+
+    def _handle_protocol_message(self, src: int, message, echoed: bool) -> None:
+        key = self._message_key(message)
+        if key is not None:
+            if key in self._seen_message_keys:
+                return
+            self._seen_message_keys.add(key)
+            if self.config.echo_enabled:
+                self.context.multicast(
+                    EchoMsg(sender=self.replica_id, inner=message, origin=src),
+                    include_self=False,
+                )
+        if isinstance(message, ProposalMsg):
+            self._on_proposal(src, message, echoed)
+        elif isinstance(message, VoteMsg):
+            self._on_vote(message)
+
+    # ------------------------------------------------------------------
+    # proposals and voting
+    # ------------------------------------------------------------------
+
+    def _on_proposal(self, src: int, msg: ProposalMsg, echoed: bool) -> None:
+        del echoed
+        if not self._validate_proposal(src, msg):
+            self.invalid_messages += 1
+            return
+        block = msg.block
+        self._orphan_proposals.setdefault(block.id(), msg)
+        inserted = self.store.add_block(block)
+        if inserted:
+            self._handle_inserted_blocks(inserted)
+
+    def _validate_proposal(self, src: int, msg: ProposalMsg) -> bool:
+        block = msg.block
+        if block.is_genesis() or block.qc is None:
+            return False
+        if block.round != msg.round or block.proposer != msg.sender:
+            return False
+        if self.config.leader_of(msg.round) != msg.sender:
+            return False
+        if block.qc.block_id != block.parent_id:
+            return False
+        del src  # echoes legitimately relay with src != sender
+        if self.config.verify_signatures:
+            if msg.signature is None or not self.context.registry.verify(
+                msg.signing_payload(), msg.signature
+            ):
+                return False
+            if not block.qc.validate(self.context.registry, self.config.quorum()):
+                return False
+        return True
+
+    def _handle_inserted_blocks(self, inserted) -> None:
+        now = self.context.now
+        for block in inserted:
+            if block.qc is not None:
+                self._process_qc(block.qc, now)
+            pending_qc = self._pending_qcs.pop(block.id(), None)
+            if pending_qc is not None:
+                self._process_qc(pending_qc, now)
+        for block in inserted:
+            msg = self._orphan_proposals.pop(block.id(), None)
+            if msg is not None:
+                self._maybe_vote(msg)
+
+    def _maybe_vote(self, msg: ProposalMsg) -> None:
+        block = msg.block
+        round_number = block.round
+        if round_number != self.current_round:
+            return
+        if round_number in self._voted_rounds:
+            return
+        parent = self.store.maybe_get(block.parent_id)
+        if parent is None:
+            return
+        # Voting rule: the proposal must extend one of the longest
+        # certified chains this replica has seen.
+        if not self.store.is_certified(parent.id()):
+            return
+        if parent.height != self.store.certified_chain_height():
+            return
+        vote = self._make_vote(block)
+        self._voted_rounds.add(round_number)
+        self.votes_sent += 1
+        self._after_vote(block)
+        self.context.multicast(
+            VoteMsg(sender=self.replica_id, vote=vote), include_self=True
+        )
+
+    # ------------------------------------------------------------------
+    # vote aggregation (every replica collects)
+    # ------------------------------------------------------------------
+
+    def _on_vote(self, msg: VoteMsg) -> None:
+        vote = msg.vote
+        if not 0 <= vote.voter < self.config.n:
+            self.invalid_messages += 1
+            return
+        if self.config.verify_signatures:
+            if vote.signature is None or not self.context.registry.verify(
+                vote.signing_payload(), vote.signature
+            ):
+                self.invalid_messages += 1
+                return
+        self._ingest_vote_for_endorsement(vote, self.context.now)
+        block_id = vote.block_id
+        if block_id in self._formed_qcs:
+            return
+        bucket = self._collected_votes.setdefault(block_id, {})
+        bucket[vote.voter] = vote
+        self._vote_block_info[block_id] = (vote.block_round, vote.height)
+        if len(bucket) >= self.config.quorum():
+            self._form_qc(block_id)
+
+    def _form_qc(self, block_id: BlockId) -> None:
+        bucket = self._collected_votes.pop(block_id, None)
+        if bucket is None:
+            return
+        round_number, height = self._vote_block_info.pop(block_id)
+        votes = tuple(bucket[voter] for voter in sorted(bucket))
+        qc = QuorumCertificate(
+            block_id=block_id, round=round_number, height=height, votes=votes
+        )
+        self._formed_qcs.add(block_id)
+        self._process_qc(qc, self.context.now)
+
+    def _process_qc(self, qc: QuorumCertificate, now: float) -> None:
+        if qc.block_id in self.store:
+            if qc.block_id not in self._qcs_processed:
+                self._qcs_processed.add(qc.block_id)
+                self.store.record_qc(qc)
+                self._on_new_certification(qc, now)
+        else:
+            self._pending_qcs.setdefault(qc.block_id, qc)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def committed_blocks(self) -> list:
+        return list(self.commit_tracker.commit_order)
+
+    def committed_tx_count(self) -> int:
+        total = 0
+        for event in self.commit_tracker.commit_order:
+            block = self.store.maybe_get(event.block_id)
+            if block is not None:
+                total += block.payload.tx_count()
+        return total

@@ -1,0 +1,33 @@
+"""Experiment runtime: cluster construction, workload, and metrics."""
+
+from repro.runtime.client import ClientWorkload, CommitFeedback, Mempool
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import ExperimentConfig, build_cluster
+from repro.runtime.conflict_policy import ConflictAwareMempool
+from repro.runtime.metrics import (
+    LatencyReport,
+    check_commit_safety,
+    regular_commit_latency,
+    strong_commit_latency,
+    strong_latency_series,
+    throughput_txps,
+)
+from repro.runtime.tracing import TraceLog, attach_tracer
+
+__all__ = [
+    "ExperimentConfig",
+    "build_cluster",
+    "Cluster",
+    "Mempool",
+    "ClientWorkload",
+    "CommitFeedback",
+    "ConflictAwareMempool",
+    "TraceLog",
+    "attach_tracer",
+    "LatencyReport",
+    "check_commit_safety",
+    "regular_commit_latency",
+    "strong_commit_latency",
+    "strong_latency_series",
+    "throughput_txps",
+]

@@ -1,0 +1,97 @@
+"""A simulated cluster of replicas plus fault-injection hooks."""
+
+from __future__ import annotations
+
+from repro.protocols.base import ReplicaContext
+from repro.protocols.diembft.replica import DiemBFTReplica
+from repro.protocols.fbft.replica import FBFTDiemBFTReplica
+from repro.protocols.sft_diembft.replica import SFTDiemBFTReplica
+from repro.protocols.sft_streamlet.replica import SFTStreamletReplica
+from repro.protocols.streamlet.replica import StreamletReplica
+
+_PROTOCOL_CLASSES = {
+    "diembft": DiemBFTReplica,
+    "sft-diembft": SFTDiemBFTReplica,
+    "fbft": FBFTDiemBFTReplica,
+    "streamlet": StreamletReplica,
+    "sft-streamlet": SFTStreamletReplica,
+}
+
+
+class Cluster:
+    """Replicas, network, and simulator wired together.
+
+    ``replica_overrides`` maps replica ids to alternative replica
+    classes (adversarial behaviours from :mod:`repro.adversary`);
+    they receive the same ``(config, context)`` constructor arguments.
+    """
+
+    def __init__(self, config, simulator, topology, network, registry):
+        self.config = config
+        self.simulator = simulator
+        self.topology = topology
+        self.network = network
+        self.registry = registry
+        self.replicas: list = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def build(self, replica_overrides: dict | None = None) -> "Cluster":
+        """Instantiate and register every replica (idempotent)."""
+        if self._built:
+            return self
+        overrides = replica_overrides or {}
+        default_class = _PROTOCOL_CLASSES[self.config.protocol]
+        for replica_id in range(self.config.n):
+            context = ReplicaContext(
+                replica_id, self.network, self.simulator, self.registry
+            )
+            replica_class = overrides.get(replica_id, default_class)
+            replica = replica_class(self.config.replica_config(replica_id), context)
+            self.replicas.append(replica)
+            self.network.register(replica_id, replica)
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float | None = None) -> "Cluster":
+        """Start every replica at t=0 and run to ``duration`` seconds."""
+        if not self._built:
+            self.build()
+        horizon = duration if duration is not None else self.config.duration
+        for replica in self.replicas:
+            self.simulator.schedule_at(self.simulator.now, replica.start)
+        for replica_id, crash_time in self.config.crash_schedule:
+            self.simulator.schedule_at(
+                crash_time, self.replicas[replica_id].crash
+            )
+        self.simulator.run_until(horizon)
+        return self
+
+    def run_more(self, extra: float) -> "Cluster":
+        """Continue a finished run for ``extra`` simulated seconds."""
+        self.simulator.run_until(self.simulator.now + extra)
+        return self
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def observer_replicas(self) -> list:
+        ids = set(self.config.observer_ids())
+        return [replica for replica in self.replicas if replica.replica_id in ids]
+
+    def honest_replicas(self) -> list:
+        return [replica for replica in self.replicas if not replica.crashed]
+
+    def replica(self, replica_id: int):
+        return self.replicas[replica_id]
+
+    def message_stats(self) -> dict:
+        return self.network.stats()

@@ -1,0 +1,176 @@
+"""Declarative experiment configuration.
+
+:class:`ExperimentConfig` captures one simulated deployment — protocol,
+replica count, geo topology, network behaviour, and protocol knobs —
+and :func:`build_cluster` turns it into a ready-to-run
+:class:`~repro.runtime.cluster.Cluster`.
+
+The defaults mirror the paper's evaluation: ``n = 100`` (``f = 33``),
+1000-transaction / 450 KB blocks, round-robin leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.net.network import Network, NetworkConfig
+from repro.net.simulator import Simulator
+from repro.net.topology import (
+    AsymmetricTopology,
+    SymmetricTopology,
+    Topology,
+    UniformTopology,
+)
+from repro.protocols.base import ReplicaConfig
+from repro.protocols.streamlet.replica import StreamletConfig
+
+PROTOCOLS = ("diembft", "sft-diembft", "fbft", "streamlet", "sft-streamlet")
+
+
+@dataclass(slots=True)
+class ExperimentConfig:
+    """One simulated experiment.
+
+    ``topology`` is ``"uniform"``, ``"symmetric"`` or ``"asymmetric"``
+    (Figure 6); ``delta`` is the inter-region delay δ.  ``observers``
+    selects which replicas pay for endorsement/strength bookkeeping:
+    ``"all"``, an integer stride (every k-th replica), or an explicit
+    iterable of ids.
+    """
+
+    protocol: str = "sft-diembft"
+    n: int = 100
+    f: int | None = None
+    # Topology (Figure 6).
+    topology: str = "symmetric"
+    delta: float = 0.100
+    intra_delay: float = 0.001
+    ab_delay: float = 0.020
+    uniform_delay: float = 0.010
+    # Network behaviour.
+    jitter: float = 0.002
+    bandwidth_bytes_per_sec: float = 0.0
+    processing_delay: float = 0.0
+    gst: float = 0.0
+    pre_gst_delay: float = 0.0
+    # Protocol knobs.
+    round_timeout: float = 1.0
+    timeout_multiplier: float = 1.5
+    max_timeout: float = 8.0
+    qc_extra_wait: float = 0.0
+    generalized_intervals: bool = False
+    interval_window: int | None = None
+    verify_signatures: bool = True
+    drop_stale_messages: bool = True
+    block_batch_count: int = 1000
+    block_batch_bytes: int = 450_000
+    streamlet_round_duration: float | None = None
+    # Run control.
+    duration: float = 60.0
+    seed: int = 1
+    observers: object = "all"
+    crash_schedule: tuple = ()  # (replica_id, time) pairs
+
+    def resolved_f(self) -> int:
+        return self.f if self.f is not None else (self.n - 1) // 3
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # derived pieces
+    # ------------------------------------------------------------------
+
+    def build_topology(self) -> Topology:
+        if self.topology == "uniform":
+            return UniformTopology(self.n, delay=self.uniform_delay)
+        if self.topology == "symmetric":
+            return SymmetricTopology(
+                self.n, delta=self.delta, intra_delay=self.intra_delay
+            )
+        if self.topology == "asymmetric":
+            if self.n != 100:
+                raise ValueError(
+                    "the asymmetric topology is defined for n=100 (45/45/10)"
+                )
+            return AsymmetricTopology(
+                delta=self.delta,
+                ab_delay=self.ab_delay,
+                intra_delay=self.intra_delay,
+            )
+        raise ValueError(f"unknown topology {self.topology!r}")
+
+    def network_config(self) -> NetworkConfig:
+        return NetworkConfig(
+            jitter=self.jitter,
+            seed=self.seed,
+            gst=self.gst,
+            pre_gst_delay=self.pre_gst_delay,
+            bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
+            processing_delay=self.processing_delay,
+        )
+
+    def observer_ids(self) -> tuple:
+        if self.observers == "all":
+            return tuple(range(self.n))
+        if isinstance(self.observers, int):
+            stride = max(1, self.observers)
+            return tuple(range(0, self.n, stride))
+        return tuple(self.observers)
+
+    def replica_config(self, replica_id: int) -> ReplicaConfig:
+        observing = replica_id in set(self.observer_ids())
+        common = dict(
+            n=self.n,
+            f=self.resolved_f(),
+            round_timeout=self.round_timeout,
+            timeout_multiplier=self.timeout_multiplier,
+            max_timeout=self.max_timeout,
+            qc_extra_wait=self.qc_extra_wait,
+            generalized_intervals=self.generalized_intervals,
+            interval_window=self.interval_window,
+            observer=observing,
+            verify_signatures=self.verify_signatures,
+            drop_stale_messages=self.drop_stale_messages,
+            block_batch_count=self.block_batch_count,
+            block_batch_bytes=self.block_batch_bytes,
+        )
+        if self.protocol in ("streamlet", "sft-streamlet"):
+            duration = self.streamlet_round_duration
+            if duration is None:
+                duration = 2.0 * (self._max_delay() + self.jitter) + 0.005
+            return StreamletConfig(round_duration=duration, **common)
+        return ReplicaConfig(**common)
+
+    def _max_delay(self) -> float:
+        topology = self.build_topology()
+        candidates = [self.intra_delay]
+        if self.topology == "uniform":
+            candidates.append(self.uniform_delay)
+        else:
+            candidates.extend([self.delta, self.ab_delay])
+        del topology
+        return max(candidates)
+
+
+def build_cluster(config: ExperimentConfig):
+    """Construct a :class:`~repro.runtime.cluster.Cluster` from ``config``."""
+    from repro.crypto.registry import KeyRegistry
+    from repro.runtime.cluster import Cluster
+
+    if config.protocol not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {config.protocol!r}; expected one of {PROTOCOLS}"
+        )
+    simulator = Simulator()
+    topology = config.build_topology()
+    network = Network(simulator, topology, config.network_config())
+    registry = KeyRegistry(config.n)
+    return Cluster(
+        config=config,
+        simulator=simulator,
+        topology=topology,
+        network=network,
+        registry=registry,
+    )

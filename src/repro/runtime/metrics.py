@@ -1,0 +1,175 @@
+"""Aggregated measurements over a finished cluster run.
+
+Implements the paper's methodology (Section 4): "each data point is
+the average value measured over all blocks over all replicas".  The
+helpers here average over *observer* replicas (which may be all of
+them) and support a ``created_before`` cutoff so that blocks created
+too close to the end of the run — which never had time to reach high
+strength levels — do not bias the tail of the latency curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resilience import level_for_ratio
+
+
+@dataclass(slots=True)
+class LatencyReport:
+    """One point of a Figure 7/8-style series."""
+
+    ratio: float
+    level: int
+    mean_latency: float | None
+    samples: int
+    eligible: int
+
+    def reached_fraction(self) -> float:
+        if self.eligible == 0:
+            return 0.0
+        return self.samples / self.eligible
+
+
+def _eligible_blocks(replica, created_before):
+    for event in replica.commit_tracker.commit_order:
+        block = replica.store.maybe_get(event.block_id)
+        if block is None or block.is_genesis():
+            continue
+        if created_before is not None and block.created_at > created_before:
+            continue
+        yield event, block
+
+
+def regular_commit_latency(cluster, created_before: float | None = None):
+    """Mean creation-to-commit latency over all blocks over observers."""
+    total = 0.0
+    count = 0
+    for replica in cluster.observer_replicas():
+        if replica.crashed:
+            continue
+        for event, _block in _eligible_blocks(replica, created_before):
+            total += event.latency()
+            count += 1
+    return (total / count if count else None), count
+
+
+def strong_commit_latency(
+    cluster, level: int, created_before: float | None = None
+) -> tuple:
+    """Mean creation-to-``level``-strong latency; returns (mean, n, eligible)."""
+    total = 0.0
+    count = 0
+    eligible = 0
+    for replica in cluster.observer_replicas():
+        if replica.crashed:
+            continue
+        tracker = replica.commit_tracker
+        for _event, block in _eligible_blocks(replica, created_before):
+            eligible += 1
+            timeline = tracker.timeline_of(block.id())
+            if timeline is None:
+                continue
+            latency = timeline.latency_to(level)
+            if latency is None:
+                continue
+            total += latency
+            count += 1
+    return (total / count if count else None), count, eligible
+
+
+def strong_latency_series(
+    cluster,
+    ratios,
+    created_before: float | None = None,
+) -> list:
+    """A full Figure-7-style series: one LatencyReport per ratio."""
+    f = cluster.config.resolved_f()
+    series = []
+    for ratio in ratios:
+        level = level_for_ratio(ratio, f)
+        mean, count, eligible = strong_commit_latency(
+            cluster, level, created_before
+        )
+        series.append(
+            LatencyReport(
+                ratio=ratio,
+                level=level,
+                mean_latency=mean,
+                samples=count,
+                eligible=eligible,
+            )
+        )
+    return series
+
+
+def throughput_txps(cluster, duration: float | None = None) -> float:
+    """Committed transactions per second, averaged over observers."""
+    horizon = duration if duration is not None else cluster.simulator.now
+    if horizon <= 0:
+        return 0.0
+    observers = [r for r in cluster.observer_replicas() if not r.crashed]
+    if not observers:
+        return 0.0
+    total = sum(replica.committed_tx_count() for replica in observers)
+    return total / len(observers) / horizon
+
+
+def messages_per_committed_block(cluster) -> float:
+    """Network messages divided by distinct committed blocks (E5)."""
+    observers = [r for r in cluster.observer_replicas() if not r.crashed]
+    if not observers:
+        return float("inf")
+    blocks = max(len(replica.commit_tracker.commit_order) for replica in observers)
+    if blocks == 0:
+        return float("inf")
+    return cluster.network.messages_sent / blocks
+
+
+def check_commit_safety(replicas) -> None:
+    """Assert BFT SMR safety across replicas.
+
+    No two replicas may commit different blocks at the same height
+    (Section 2), and each replica's own committed sequence must be
+    consistent (a single chain).  Raises ``AssertionError`` with a
+    diagnostic on violation.
+    """
+    by_height: dict[int, object] = {}
+    for replica in replicas:
+        for event in replica.commit_tracker.commit_order:
+            existing = by_height.get(event.height)
+            if existing is None:
+                by_height[event.height] = event.block_id
+            elif existing != event.block_id:
+                raise AssertionError(
+                    f"safety violation at height {event.height}: "
+                    f"replica {replica.replica_id} committed "
+                    f"{event.block_id.short()} but another replica committed "
+                    f"{existing.short()}"
+                )
+
+
+def strong_commit_safety_violations(replicas, actual_faults: int) -> list:
+    """Definition 1 check: conflicting strong commits under ``t`` faults.
+
+    Returns a list of (level, block_a, block_b) tuples for every pair
+    of conflicting blocks both strong committed at levels ``>= t``
+    across any two replicas.  An empty list means SFT safety held.
+    """
+    violations = []
+    strong: dict = {}
+    for replica in replicas:
+        for block_id, timeline in replica.commit_tracker.timelines():
+            if timeline.current >= actual_faults:
+                stored = strong.get(block_id)
+                if stored is None or timeline.current > stored[0]:
+                    strong[block_id] = (timeline.current, replica)
+    items = list(strong.items())
+    for i, (block_a, (level_a, replica_a)) in enumerate(items):
+        store = replica_a.store
+        for block_b, (level_b, _replica_b) in items[i + 1:]:
+            if block_a not in store or block_b not in store:
+                continue
+            if store.conflicts(block_a, block_b):
+                violations.append((min(level_a, level_b), block_a, block_b))
+    return violations

@@ -1,0 +1,37 @@
+"""Core data model shared by every protocol in the library.
+
+The types here implement Section 2.1 of the paper: blocks chained by
+hash digests and quorum certificates, votes (plain and strong), quorum
+and timeout certificates, and the fork-aware block store replicas keep.
+"""
+
+from repro.types.block import Block, BlockId, GENESIS_ROUND, make_genesis
+from repro.types.chain import BlockStore, ChainError
+from repro.types.messages import (
+    Message,
+    ProposalMsg,
+    TimeoutMsg,
+    VoteMsg,
+)
+from repro.types.quorum_cert import QuorumCertificate, TimeoutCertificate
+from repro.types.transaction import Transaction, TxBatch
+from repro.types.vote import StrongVote, Vote
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "GENESIS_ROUND",
+    "make_genesis",
+    "BlockStore",
+    "ChainError",
+    "Message",
+    "ProposalMsg",
+    "VoteMsg",
+    "TimeoutMsg",
+    "QuorumCertificate",
+    "TimeoutCertificate",
+    "Transaction",
+    "TxBatch",
+    "Vote",
+    "StrongVote",
+]

@@ -1,0 +1,101 @@
+"""Blocks and the genesis bootstrap.
+
+Block format (Section 2.1): ``B_k = (H(B_{k-1}), qc, txn)`` where the
+``qc`` certifies the parent block.  We additionally track the protocol
+round that proposed the block, the chain height, the proposer id, and
+the creation timestamp (strong-commit latency is measured "from when a
+block is created", Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import HashDigest, hash_fields
+from repro.types.quorum_cert import QuorumCertificate
+from repro.types.transaction import Payload
+
+BlockId = HashDigest
+
+GENESIS_ROUND = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """One block in the chain.
+
+    ``parent_id`` is the digest of the parent; ``qc`` certifies the
+    parent (``qc.block_id == parent_id`` for every non-genesis block).
+    The block id is the hash of all consensus-relevant fields, so two
+    proposals for the same round with different payloads or parents are
+    distinct blocks — the raw material of equivocation.
+    """
+
+    parent_id: BlockId | None
+    qc: QuorumCertificate | None
+    round: int
+    height: int
+    proposer: int
+    payload: Payload = field(default_factory=Payload)
+    created_at: float = 0.0
+    commit_log: tuple = ()
+    _cached_id: BlockId | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def id(self) -> BlockId:
+        """Content hash of the block (computed once, then cached)."""
+        cached = self._cached_id
+        if cached is not None:
+            return cached
+        parent_bytes = self.parent_id.value if self.parent_id else b""
+        qc_fields = (
+            (self.qc.block_id.value, self.qc.round) if self.qc else (b"", -1)
+        )
+        digest = hash_fields(
+            "block",
+            parent_bytes,
+            qc_fields,
+            self.round,
+            self.height,
+            self.proposer,
+            self.payload.digest_fields(),
+            tuple(self.commit_log),
+        )
+        object.__setattr__(self, "_cached_id", digest)
+        return digest
+
+    def is_genesis(self) -> bool:
+        return self.parent_id is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Block(round={self.round}, height={self.height}, "
+            f"proposer={self.proposer}, id={self.id().short()})"
+        )
+
+
+def make_genesis() -> tuple[Block, QuorumCertificate]:
+    """Create the genesis block and its bootstrap certificate.
+
+    The genesis block sits at round 0 / height 0 and is considered
+    certified and committed by definition; the returned certificate is
+    what replicas initialize ``qc_high`` with ("⊥ of round 0",
+    Figure 2).
+    """
+    genesis = Block(
+        parent_id=None,
+        qc=None,
+        round=GENESIS_ROUND,
+        height=0,
+        proposer=-1,
+        payload=Payload(),
+        created_at=0.0,
+    )
+    genesis_qc = QuorumCertificate(
+        block_id=genesis.id(),
+        round=GENESIS_ROUND,
+        height=0,
+        votes=(),
+    )
+    return genesis, genesis_qc

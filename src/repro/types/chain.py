@@ -1,0 +1,262 @@
+"""Fork-aware block store.
+
+Each replica keeps every block it has seen in a :class:`BlockStore`:
+a tree rooted at genesis with parent pointers, per-block certification
+state, and the ancestry queries the SFT machinery leans on
+(``is_ancestor``, ``common_ancestor``, ``conflicts``).
+
+Blocks that arrive before their parents (possible with Byzantine
+leaders that equivocate selectively) are buffered as orphans and
+inserted once the parent shows up.
+"""
+
+from __future__ import annotations
+
+from repro.types.block import Block, BlockId
+from repro.types.quorum_cert import QuorumCertificate
+
+
+class ChainError(Exception):
+    """Raised on structurally invalid block-store operations."""
+
+
+class BlockStore:
+    """Tree of blocks with certification bookkeeping.
+
+    The store is deliberately permissive: it records *every*
+    structurally valid block, including equivocating ones — the voting
+    rules, not the store, decide what is acceptable.
+    """
+
+    def __init__(self, genesis: Block, genesis_qc: QuorumCertificate) -> None:
+        if not genesis.is_genesis():
+            raise ChainError("block store must be rooted at a genesis block")
+        self.genesis_id = genesis.id()
+        self._blocks: dict[BlockId, Block] = {self.genesis_id: genesis}
+        self._children: dict[BlockId, list[BlockId]] = {self.genesis_id: []}
+        self._qcs: dict[BlockId, QuorumCertificate] = {self.genesis_id: genesis_qc}
+        self._orphans: dict[BlockId, list[Block]] = {}
+        self._by_round: dict[int, list[BlockId]] = {genesis.round: [self.genesis_id]}
+        self._by_height: dict[int, list[BlockId]] = {genesis.height: [self.genesis_id]}
+        self.highest_certified_id: BlockId = self.genesis_id
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def add_block(self, block: Block) -> list:
+        """Insert ``block``; returns the list of blocks newly inserted.
+
+        The result includes ``block`` itself plus any buffered orphans
+        that became insertable.  A duplicate returns ``[]``; a block
+        whose parent is unknown is buffered (returns ``[]``) and
+        inserted when the parent arrives.
+        """
+        block_id = block.id()
+        if block_id in self._blocks:
+            return []
+        if block.parent_id is None:
+            raise ChainError("cannot add a second genesis block")
+        if block.parent_id not in self._blocks:
+            pending = self._orphans.setdefault(block.parent_id, [])
+            if all(orphan.id() != block_id for orphan in pending):
+                pending.append(block)
+            return []
+        self._insert(block_id, block)
+        inserted = [block]
+        inserted.extend(self._flush_orphans(block_id))
+        return inserted
+
+    def _insert(self, block_id: BlockId, block: Block) -> None:
+        parent = self._blocks[block.parent_id]
+        if block.height != parent.height + 1:
+            raise ChainError(
+                f"height {block.height} does not extend parent height {parent.height}"
+            )
+        if block.round <= parent.round:
+            raise ChainError(
+                f"round {block.round} does not exceed parent round {parent.round}"
+            )
+        self._blocks[block_id] = block
+        self._children[block_id] = []
+        self._children[block.parent_id].append(block_id)
+        self._by_round.setdefault(block.round, []).append(block_id)
+        self._by_height.setdefault(block.height, []).append(block_id)
+        # A block embeds its parent's QC; record it.
+        if block.qc is not None:
+            self.record_qc(block.qc)
+
+    def _flush_orphans(self, parent_id: BlockId) -> list:
+        inserted = []
+        pending = self._orphans.pop(parent_id, [])
+        for orphan in pending:
+            inserted.extend(self.add_block(orphan))
+        return inserted
+
+    def record_qc(self, qc: QuorumCertificate) -> bool:
+        """Record that ``qc.block_id`` is certified.
+
+        Returns True if this certification is new *and* the block is
+        known (a QC for an unknown block is remembered once the block
+        arrives via its child's embedded QC, so dropping it is safe).
+        """
+        if qc.block_id in self._qcs:
+            return False
+        if qc.block_id not in self._blocks:
+            return False
+        self._qcs[qc.block_id] = qc
+        best = self._blocks[self.highest_certified_id]
+        candidate = self._blocks[qc.block_id]
+        if candidate.round > best.round:
+            self.highest_certified_id = qc.block_id
+        return True
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_id: BlockId) -> Block:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise ChainError(f"unknown block {block_id.short()}") from None
+
+    def maybe_get(self, block_id: BlockId) -> Block | None:
+        return self._blocks.get(block_id)
+
+    def qc_for(self, block_id: BlockId) -> QuorumCertificate | None:
+        """The QC certifying ``block_id``, if known."""
+        return self._qcs.get(block_id)
+
+    def is_certified(self, block_id: BlockId) -> bool:
+        return block_id in self._qcs
+
+    def children(self, block_id: BlockId) -> tuple:
+        return tuple(self._children.get(block_id, ()))
+
+    def blocks_at_round(self, round_number: int) -> tuple:
+        return tuple(self._by_round.get(round_number, ()))
+
+    def blocks_at_height(self, height: int) -> tuple:
+        return tuple(self._by_height.get(height, ()))
+
+    def parent(self, block_id: BlockId) -> Block | None:
+        block = self.get(block_id)
+        if block.parent_id is None:
+            return None
+        return self._blocks.get(block.parent_id)
+
+    def all_blocks(self):
+        """Iterate over every stored block (including genesis)."""
+        return self._blocks.values()
+
+    def orphan_count(self) -> int:
+        return sum(len(pending) for pending in self._orphans.values())
+
+    def is_awaited(self, block_id: BlockId) -> bool:
+        """True if some buffered orphan lists ``block_id`` as its parent."""
+        return block_id in self._orphans
+
+    # ------------------------------------------------------------------
+    # ancestry
+    # ------------------------------------------------------------------
+
+    def is_ancestor(self, ancestor_id: BlockId, descendant_id: BlockId) -> bool:
+        """True iff ``ancestor_id`` is an ancestor of (or equals) ``descendant_id``.
+
+        Matches the paper's "B_l extends B_k": a block extends itself.
+        """
+        ancestor = self.get(ancestor_id)
+        cursor = self.get(descendant_id)
+        while cursor.height > ancestor.height:
+            cursor = self._blocks[cursor.parent_id]
+        # The store holds exactly one Block object per id, so identity
+        # comparison is equivalent to id comparison and avoids hashing.
+        return cursor is ancestor
+
+    def ancestor_at_height(self, block_id: BlockId, height: int) -> Block:
+        """The unique ancestor of ``block_id`` at ``height``."""
+        cursor = self.get(block_id)
+        if height > cursor.height or height < 0:
+            raise ChainError(f"no ancestor at height {height}")
+        while cursor.height > height:
+            cursor = self._blocks[cursor.parent_id]
+        return cursor
+
+    def common_ancestor(self, a_id: BlockId, b_id: BlockId) -> Block:
+        """The deepest block that both ``a_id`` and ``b_id`` extend."""
+        a = self.get(a_id)
+        b = self.get(b_id)
+        while a.height > b.height:
+            a = self._blocks[a.parent_id]
+        while b.height > a.height:
+            b = self._blocks[b.parent_id]
+        while a is not b:
+            a = self._blocks[a.parent_id]
+            b = self._blocks[b.parent_id]
+        return a
+
+    def conflicts(self, a_id: BlockId, b_id: BlockId) -> bool:
+        """Two blocks conflict iff neither extends the other (Section 2.1)."""
+        if a_id == b_id:
+            return False
+        return not self.is_ancestor(a_id, b_id) and not self.is_ancestor(b_id, a_id)
+
+    def path_to_genesis(self, block_id: BlockId) -> list:
+        """Blocks from ``block_id`` down to genesis, inclusive, in that order."""
+        path = []
+        cursor = self.get(block_id)
+        while True:
+            path.append(cursor)
+            if cursor.parent_id is None:
+                return path
+            cursor = self._blocks[cursor.parent_id]
+
+    def iter_ancestors(self, block_id: BlockId):
+        """Yield ``block_id``'s block then each ancestor up to genesis."""
+        cursor = self.get(block_id)
+        while True:
+            yield cursor
+            if cursor.parent_id is None:
+                return
+            cursor = self._blocks[cursor.parent_id]
+
+    # ------------------------------------------------------------------
+    # chain queries used by protocol rules
+    # ------------------------------------------------------------------
+
+    def highest_certified_block(self) -> Block:
+        """The certified block with the highest round (DiemBFT proposing)."""
+        return self._blocks[self.highest_certified_id]
+
+    def longest_certified_tips(self) -> list:
+        """Tips of the longest *certified* chains (Streamlet proposing).
+
+        A certified chain is a chain whose blocks are all certified;
+        because a block's QC certifies its parent, it is enough to find
+        maximal-height certified blocks.
+        """
+        best_height = -1
+        tips: list = []
+        for block_id, qc in self._qcs.items():
+            del qc
+            block = self._blocks.get(block_id)
+            if block is None:
+                continue
+            if block.height > best_height:
+                best_height = block.height
+                tips = [block]
+            elif block.height == best_height:
+                tips.append(block)
+        return tips
+
+    def certified_chain_height(self) -> int:
+        """Height of the longest certified chain."""
+        tips = self.longest_certified_tips()
+        return tips[0].height if tips else 0

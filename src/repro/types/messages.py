@@ -1,0 +1,110 @@
+"""Wire messages exchanged by replicas.
+
+Every message carries its sender and is signed at the protocol layer
+(the vote/timeout payloads embed signatures; proposals are signed as a
+whole).  The Streamlet echo mechanism re-wraps messages in
+:class:`EchoMsg` so duplicate suppression has a uniform handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.serialization import canonical_bytes
+from repro.crypto.signatures import Signature
+from repro.types.block import Block
+from repro.types.quorum_cert import QuorumCertificate, TimeoutCertificate
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class for protocol messages (used for isinstance checks)."""
+
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class ProposalMsg(Message):
+    """⟨propose, B_k, r⟩_{L_r} — a leader's block proposal.
+
+    ``tc`` justifies proposing in a round reached through timeouts.
+    Light-client strong-commit updates (Section 5) ride inside the
+    block itself (``block.commit_log``) so the block's QC certifies
+    them.
+    """
+
+    round: int
+    block: Block
+    tc: TimeoutCertificate | None = None
+    signature: Signature | None = None
+
+    def signing_payload(self) -> bytes:
+        return canonical_bytes(
+            "proposal", self.round, self.block.id().value, self.sender
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class VoteMsg(Message):
+    """Envelope carrying one (strong-)vote to its collector."""
+
+    vote: object  # Vote | StrongVote
+
+
+@dataclass(frozen=True, slots=True)
+class TimeoutMsg(Message):
+    """⟨timeout, r, qc_high⟩_i — sent when the round-``r`` timer expires."""
+
+    round: int
+    qc_high: QuorumCertificate
+    signature: Signature | None = None
+
+    def signing_payload(self) -> bytes:
+        return canonical_bytes("timeout", self.round, self.sender)
+
+
+@dataclass(frozen=True, slots=True)
+class NewRoundMsg(Message):
+    """Advance notification carrying a TC to replicas that missed it."""
+
+    tc: TimeoutCertificate
+
+
+@dataclass(frozen=True, slots=True)
+class ExtraVotesMsg(Message):
+    """FBFT-adapted baseline (Appendix B): late votes multicast by a leader.
+
+    Each message carries votes for ``round`` that arrived after the QC
+    was formed; the leader multicasts them one by one as they arrive,
+    which is what drives the baseline to O(n^2) messages per decision.
+    """
+
+    round: int
+    votes: tuple = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EchoMsg(Message):
+    """Streamlet echo wrapper: forward a previously unseen message."""
+
+    inner: Message
+    origin: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class ClientRequestMsg(Message):
+    """A client transaction submitted to one replica's mempool."""
+
+    transaction: object
+
+
+__all__ = [
+    "Message",
+    "ProposalMsg",
+    "VoteMsg",
+    "TimeoutMsg",
+    "NewRoundMsg",
+    "ExtraVotesMsg",
+    "EchoMsg",
+    "ClientRequestMsg",
+]

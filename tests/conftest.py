@@ -1,0 +1,140 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.registry import KeyRegistry
+from repro.types.block import Block, make_genesis
+from repro.types.chain import BlockStore
+from repro.types.quorum_cert import QuorumCertificate
+from repro.types.transaction import Payload, TxBatch
+from repro.types.vote import StrongVote, Vote
+
+
+class ChainBuilder:
+    """Constructs block trees directly against a BlockStore.
+
+    Unit tests for the SFT core need precise control over rounds,
+    heights, forks, voters and markers without running a network; this
+    builder provides that with one-liners.
+    """
+
+    def __init__(self, f: int = 1) -> None:
+        self.f = f
+        self.n = 3 * f + 1
+        genesis, genesis_qc = make_genesis()
+        self.genesis = genesis
+        self.genesis_qc = genesis_qc
+        self.store = BlockStore(genesis, genesis_qc)
+        self._tags = 0
+
+    def quorum(self) -> int:
+        return 2 * self.f + 1
+
+    def block(
+        self,
+        parent: Block,
+        round_number: int,
+        proposer: int = 0,
+        created_at: float = 0.0,
+    ) -> Block:
+        """Create and store a block extending ``parent``."""
+        self._tags += 1
+        parent_qc = self.store.qc_for(parent.id())
+        block = Block(
+            parent_id=parent.id(),
+            qc=parent_qc,
+            round=round_number,
+            height=parent.height + 1,
+            proposer=proposer,
+            payload=Payload(batch=TxBatch(count=1, size_bytes=64, tag=self._tags)),
+            created_at=created_at,
+        )
+        self.store.add_block(block)
+        return block
+
+    def vote(self, block: Block, voter: int, marker: int = 0, intervals=()) -> StrongVote:
+        return StrongVote(
+            block_id=block.id(),
+            block_round=block.round,
+            height=block.height,
+            voter=voter,
+            marker=marker,
+            intervals=tuple(intervals),
+        )
+
+    def plain_vote(self, block: Block, voter: int) -> Vote:
+        return Vote(
+            block_id=block.id(),
+            block_round=block.round,
+            height=block.height,
+            voter=voter,
+        )
+
+    def certify(self, block: Block, voters=None, markers=None) -> QuorumCertificate:
+        """Create, record, and return a QC for ``block``.
+
+        ``markers`` maps voter id to marker (default 0 for everyone).
+        """
+        if voters is None:
+            voters = range(self.quorum())
+        markers = markers or {}
+        votes = tuple(
+            self.vote(block, voter, marker=markers.get(voter, 0))
+            for voter in voters
+        )
+        qc = QuorumCertificate(
+            block_id=block.id(),
+            round=block.round,
+            height=block.height,
+            votes=votes,
+        )
+        self.store.record_qc(qc)
+        return qc
+
+    def chain(self, parent: Block, rounds) -> list:
+        """Extend ``parent`` with one block per round number, certifying each."""
+        blocks = []
+        cursor = parent
+        for round_number in rounds:
+            block = self.block(cursor, round_number)
+            self.certify(block)
+            blocks.append(block)
+            cursor = block
+        return blocks
+
+
+@pytest.fixture
+def builder() -> ChainBuilder:
+    return ChainBuilder(f=1)
+
+
+@pytest.fixture
+def builder_f2() -> ChainBuilder:
+    return ChainBuilder(f=2)
+
+
+@pytest.fixture
+def registry() -> KeyRegistry:
+    return KeyRegistry(4)
+
+
+def small_experiment(**overrides):
+    """A fast SFT-DiemBFT experiment config for integration tests."""
+    from repro.runtime.config import ExperimentConfig
+
+    defaults = dict(
+        protocol="sft-diembft",
+        n=7,
+        topology="uniform",
+        uniform_delay=0.01,
+        jitter=0.002,
+        duration=8.0,
+        round_timeout=0.5,
+        seed=42,
+        block_batch_count=10,
+        block_batch_bytes=1_000,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

@@ -1,0 +1,41 @@
+"""Appendix C: naive indirect-vote counting is unsafe; markers fix it."""
+
+import pytest
+
+from repro.adversary import AppendixCScenario
+
+
+class TestAppendixC:
+    def test_naive_counting_violates_definition_1(self):
+        result = AppendixCScenario(f=2).run()
+        assert result.naive_violates_definition_1()
+        assert result.naive_main_strength >= result.f + 1
+        assert result.naive_fork_strength >= result.f + 1
+
+    def test_sft_markers_prevent_the_violation(self):
+        result = AppendixCScenario(f=2).run()
+        assert result.sft_is_safe()
+        # The main chain must stay at exactly f-strong: h_{f+1}'s vote
+        # (marker r+1) endorses B_{r+2} but not B_r or B_{r+1}.
+        assert result.sft_main_strength == result.f
+
+    def test_fork_may_reach_f_plus_1_under_sft(self):
+        # Permitted by Definition 1: with t = f + 1 the f-strong
+        # guarantee on the main chain is void.
+        result = AppendixCScenario(f=2).run()
+        assert result.sft_fork_strength == result.f + 1
+
+    @pytest.mark.parametrize("f", [2, 3, 4, 7])
+    def test_holds_for_all_f(self, f):
+        result = AppendixCScenario(f=f).run()
+        assert result.naive_violates_definition_1()
+        assert result.sft_is_safe()
+        assert result.sft_main_strength == f
+
+    def test_conflicting_rounds_reported(self):
+        result = AppendixCScenario(f=2).run()
+        assert result.fork_block_round > result.main_block_round
+
+    def test_small_f_rejected(self):
+        with pytest.raises(ValueError):
+            AppendixCScenario(f=1)

@@ -1,0 +1,117 @@
+"""Event tracing instrumentation and the command-line interface."""
+
+import io
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.runtime.config import build_cluster
+from repro.runtime.tracing import TraceLog, attach_tracer
+from tests.conftest import small_experiment
+
+
+class TestTracing:
+    def _traced_run(self, duration=4.0):
+        cluster = build_cluster(small_experiment(duration=duration)).build()
+        trace = TraceLog()
+        attach_tracer(cluster.replicas[0], trace)
+        cluster.run(duration)
+        return cluster, trace
+
+    def test_rounds_and_votes_traced(self):
+        _, trace = self._traced_run()
+        kinds = trace.kinds()
+        assert kinds.get("new-round", 0) > 50
+        assert kinds.get("vote", 0) > 50
+        assert kinds.get("qc", 0) > 50
+        assert kinds.get("commit", 0) > 50
+
+    def test_round_timeline_monotone(self):
+        _, trace = self._traced_run()
+        timeline = trace.round_timeline(0)
+        assert len(timeline) > 50
+        times = [time for time, _round in timeline]
+        rounds = [round_number for _time, round_number in timeline]
+        assert times == sorted(times)
+        assert rounds == sorted(rounds)
+
+    def test_filters(self):
+        _, trace = self._traced_run()
+        late = trace.events(kind="commit", since=2.0)
+        assert late
+        assert all(event.time >= 2.0 for event in late)
+        assert all(event.kind == "commit" for event in late)
+        assert trace.events(replica_id=3) == []  # only replica 0 traced
+
+    def test_tracing_does_not_change_behaviour(self):
+        traced_cluster, _ = self._traced_run()
+        plain_cluster = build_cluster(small_experiment(duration=4.0)).run()
+        traced_commits = [
+            event.block_id
+            for event in traced_cluster.replicas[0].commit_tracker.commit_order
+        ]
+        plain_commits = [
+            event.block_id
+            for event in plain_cluster.replicas[0].commit_tracker.commit_order
+        ]
+        assert traced_commits == plain_commits
+
+    def test_capacity_bound(self):
+        trace = TraceLog(capacity=10)
+        for index in range(25):
+            trace.record(float(index), 0, "x", "detail")
+        assert len(trace) == 10
+        assert trace.dropped == 15
+
+
+class TestCLI:
+    def _run_cli(self, argv):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with redirect_stdout(stdout), redirect_stderr(stderr):
+            code = cli_main(argv)
+        return code, stdout.getvalue(), stderr.getvalue()
+
+    def test_run_command(self):
+        code, out, _ = self._run_cli(
+            ["run", "--protocol", "sft-diembft", "--n", "7",
+             "--topology", "uniform", "--duration", "3",
+             "--timeout", "0.5"]
+        )
+        assert code == 0
+        assert "commits:" in out
+        assert "strong commit latency" in out
+
+    def test_run_command_csv(self):
+        code, out, _ = self._run_cli(
+            ["run", "--n", "7", "--topology", "uniform",
+             "--duration", "3", "--timeout", "0.5", "--csv"]
+        )
+        assert code == 0
+        assert "ratio,level,mean_latency_s" in out
+
+    def test_run_with_crashes(self):
+        code, out, _ = self._run_cli(
+            ["run", "--n", "7", "--topology", "uniform", "--duration", "4",
+             "--timeout", "0.4", "--crash", "1"]
+        )
+        assert code == 0
+        assert "commits:" in out
+
+    def test_counterexample_command(self):
+        code, out, _ = self._run_cli(["counterexample", "--f", "2"])
+        assert code == 0
+        assert "violates Definition 1: True" in out
+        assert "safe: True" in out
+
+    def test_health_command(self):
+        code, out, _ = self._run_cli(
+            ["health", "--n", "7", "--topology", "uniform",
+             "--duration", "3", "--timeout", "0.5"]
+        )
+        assert code == 0
+        assert "max achievable strength" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            self._run_cli(["frobnicate"])

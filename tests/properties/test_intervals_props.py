@@ -1,0 +1,101 @@
+"""IntervalSet vs a reference model (Python sets over a small domain)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalSet
+
+DOMAIN_MAX = 40
+
+pair = st.tuples(
+    st.integers(0, DOMAIN_MAX), st.integers(0, DOMAIN_MAX)
+)
+pairs = st.lists(pair, max_size=8)
+
+
+def to_model(interval_set: IntervalSet) -> set:
+    return set(interval_set.iter_values())
+
+
+def model_of_pairs(raw) -> set:
+    values = set()
+    for lo, hi in raw:
+        values.update(range(lo, hi + 1))
+    return values
+
+
+class TestModelEquivalence:
+    @given(pairs)
+    def test_construction_matches_model(self, raw):
+        assert to_model(IntervalSet.from_pairs(raw)) == model_of_pairs(raw)
+
+    @given(pairs, pairs)
+    def test_union(self, raw_a, raw_b):
+        a, b = IntervalSet.from_pairs(raw_a), IntervalSet.from_pairs(raw_b)
+        assert to_model(a.union(b)) == model_of_pairs(raw_a) | model_of_pairs(
+            raw_b
+        )
+
+    @given(pairs, pairs)
+    def test_intersection(self, raw_a, raw_b):
+        a, b = IntervalSet.from_pairs(raw_a), IntervalSet.from_pairs(raw_b)
+        assert to_model(a.intersection(b)) == model_of_pairs(
+            raw_a
+        ) & model_of_pairs(raw_b)
+
+    @given(pairs, pairs)
+    def test_subtract(self, raw_a, raw_b):
+        a, b = IntervalSet.from_pairs(raw_a), IntervalSet.from_pairs(raw_b)
+        assert to_model(a.subtract(b)) == model_of_pairs(
+            raw_a
+        ) - model_of_pairs(raw_b)
+
+    @given(pairs, pairs)
+    def test_issubset(self, raw_a, raw_b):
+        a, b = IntervalSet.from_pairs(raw_a), IntervalSet.from_pairs(raw_b)
+        assert a.issubset(b) == model_of_pairs(raw_a).issubset(
+            model_of_pairs(raw_b)
+        )
+
+    @given(pairs, st.integers(-5, DOMAIN_MAX + 5))
+    def test_membership(self, raw, value):
+        interval_set = IntervalSet.from_pairs(raw)
+        assert (value in interval_set) == (value in model_of_pairs(raw))
+
+    @given(pairs, st.integers(0, DOMAIN_MAX), st.integers(0, DOMAIN_MAX))
+    def test_clamp(self, raw, lo, hi):
+        interval_set = IntervalSet.from_pairs(raw)
+        clamped = interval_set.clamp(lo, hi)
+        expected = {v for v in model_of_pairs(raw) if lo <= v <= hi}
+        assert to_model(clamped) == expected
+
+
+class TestInvariants:
+    @given(pairs)
+    def test_normalization_disjoint_sorted_nonadjacent(self, raw):
+        normalized = IntervalSet.from_pairs(raw).pairs()
+        for lo, hi in normalized:
+            assert lo <= hi
+        for (_lo1, hi1), (lo2, _hi2) in zip(normalized, normalized[1:]):
+            assert hi1 + 1 < lo2
+
+    @given(pairs)
+    def test_count_matches_model(self, raw):
+        assert IntervalSet.from_pairs(raw).count() == len(model_of_pairs(raw))
+
+    @given(pairs, pairs)
+    @settings(max_examples=50)
+    def test_demorgan_within_domain(self, raw_a, raw_b):
+        universe = IntervalSet.single(0, DOMAIN_MAX)
+        a = IntervalSet.from_pairs(raw_a).intersection(universe)
+        b = IntervalSet.from_pairs(raw_b).intersection(universe)
+        left = universe.subtract(a.union(b))
+        right = universe.subtract(a).intersection(universe.subtract(b))
+        assert left == right
+
+    @given(pairs)
+    def test_canonical_representation_equality(self, raw):
+        a = IntervalSet.from_pairs(raw)
+        b = IntervalSet.from_pairs(tuple(reversed(raw)))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,63 @@
+"""Canonical serialization injectivity over random values.
+
+The property: two values encode to the same bytes iff they are equal
+under the encoding's declared semantics (lists ≡ tuples, bool ≢ int,
+str ≢ bytes).  This catches the classic canonical-encoding failure
+modes — boundary ambiguity between adjacent fields and missing type
+tags — without re-deriving the encoder.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.serialization import canonical_bytes
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**64), 2**64),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.lists(children, max_size=3).map(tuple)
+    | st.lists(children, max_size=3),
+    max_leaves=8,
+)
+
+
+def canon(value):
+    """Type-tagged normal form matching the encoding's semantics."""
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canon(item) for item in value))
+    if value is None:
+        return ("none",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, str):
+        return ("str", value)
+    return ("bytes", bytes(value))
+
+
+class TestInjectivity:
+    @given(values, values)
+    @settings(max_examples=300)
+    def test_equal_bytes_iff_equal_canonical_values(self, a, b):
+        assert (canonical_bytes(a) == canonical_bytes(b)) == (
+            canon(a) == canon(b)
+        )
+
+    @given(values)
+    @settings(max_examples=200)
+    def test_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+    @given(st.lists(scalars, max_size=4), st.lists(scalars, max_size=4))
+    @settings(max_examples=300)
+    def test_field_tuples_injective(self, fields_a, fields_b):
+        encoded_equal = canonical_bytes(*fields_a) == canonical_bytes(*fields_b)
+        assert encoded_equal == (canon(fields_a) == canon(fields_b))

@@ -1,0 +1,157 @@
+"""Strength propagation vs a brute-force oracle.
+
+The CommitTracker computes per-block strength incrementally (listener
+updates + ancestor propagation).  The oracle recomputes from scratch:
+for every consecutive-round certified 3-chain, strength =
+min(endorser counts) − f − 1, and a block's strength is the max over
+the 3-chains of its descendants-or-self.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commit_rules import CommitTracker
+from repro.core.endorsement import EndorsementTracker
+from repro.core.resilience import max_strength
+from tests.conftest import ChainBuilder
+
+
+@st.composite
+def certified_forests(draw):
+    """A random certified tree plus random per-QC voter subsets."""
+    f = draw(st.integers(1, 2))
+    n = 3 * f + 1
+    quorum = 2 * f + 1
+    size = draw(st.integers(3, 10))
+    parents = []
+    for index in range(size):
+        # Bias towards chain-shape so consecutive-round triples exist.
+        if index == 0 or draw(st.integers(0, 3)) > 0:
+            parents.append(index - 1)
+        else:
+            parents.append(draw(st.integers(-1, index - 1)))
+    voter_sets = []
+    for _ in range(size):
+        extra = draw(st.integers(0, n - quorum))
+        voters = draw(
+            st.lists(
+                st.integers(0, n - 1),
+                min_size=quorum + extra,
+                max_size=quorum + extra,
+                unique=True,
+            )
+        )
+        voter_sets.append(tuple(voters))
+    return f, parents, voter_sets
+
+
+def oracle_strength(builder, endorsement, f):
+    """Recompute every block's strength from scratch."""
+    store = builder.store
+    strengths = {block.id(): -1 for block in store.all_blocks()}
+    for block in store.all_blocks():
+        parent = store.parent(block.id())
+        grand = store.parent(parent.id()) if parent is not None else None
+        if parent is None or grand is None:
+            continue
+        if block.round != parent.round + 1 or parent.round != grand.round + 1:
+            continue
+        if not (
+            store.is_certified(block.id())
+            and store.is_certified(parent.id())
+            and store.is_certified(grand.id())
+        ):
+            continue
+        counts = (
+            endorsement.count(grand.id()),
+            endorsement.count(parent.id()),
+            endorsement.count(block.id()),
+        )
+        strength = min(min(counts) - f - 1, max_strength(f))
+        if strength < f:
+            continue
+        # Propagate to the head and all its ancestors.
+        cursor = grand
+        while cursor is not None:
+            block_id = cursor.id()
+            strengths[block_id] = max(strengths[block_id], strength)
+            if cursor.parent_id is None:
+                break
+            cursor = store.maybe_get(cursor.parent_id)
+    return strengths
+
+
+class TestStrengthPropagation:
+    @given(certified_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_oracle(self, scenario):
+        f, parents, voter_sets = scenario
+        builder = ChainBuilder(f=f)
+        endorsement = EndorsementTracker(builder.store, mode="round")
+        tracker = CommitTracker(
+            builder.store, f=f, rule="diembft", endorsement=endorsement
+        )
+        blocks = []
+        for index, parent_index in enumerate(parents):
+            parent = builder.genesis if parent_index < 0 else blocks[parent_index]
+            block = builder.block(parent, round_number=index + 1)
+            blocks.append(block)
+            qc = builder.certify(block, voters=voter_sets[index])
+            endorsement.add_strong_qc(qc, now=float(index))
+            tracker.on_new_qc(qc, now=float(index))
+
+        expected = oracle_strength(builder, endorsement, f)
+        for block in builder.store.all_blocks():
+            assert tracker.strength_of(block.id()) == expected[block.id()], (
+                f"round {block.round}"
+            )
+
+    @given(certified_forests())
+    @settings(max_examples=40, deadline=None)
+    def test_strength_monotone_in_time(self, scenario):
+        f, parents, voter_sets = scenario
+        builder = ChainBuilder(f=f)
+        endorsement = EndorsementTracker(builder.store, mode="round")
+        tracker = CommitTracker(
+            builder.store, f=f, rule="diembft", endorsement=endorsement
+        )
+        blocks = []
+        previous: dict = {}
+        for index, parent_index in enumerate(parents):
+            parent = builder.genesis if parent_index < 0 else blocks[parent_index]
+            block = builder.block(parent, round_number=index + 1)
+            blocks.append(block)
+            qc = builder.certify(block, voters=voter_sets[index])
+            endorsement.add_strong_qc(qc, now=float(index))
+            tracker.on_new_qc(qc, now=float(index))
+            for known in blocks:
+                current = tracker.strength_of(known.id())
+                assert current >= previous.get(known.id(), -1)
+                previous[known.id()] = current
+
+    @given(certified_forests())
+    @settings(max_examples=40, deadline=None)
+    def test_ancestor_strength_dominates(self, scenario):
+        # x-strong commit of a block strong-commits all ancestors, so a
+        # parent's strength is always >= each child's.
+        f, parents, voter_sets = scenario
+        builder = ChainBuilder(f=f)
+        endorsement = EndorsementTracker(builder.store, mode="round")
+        tracker = CommitTracker(
+            builder.store, f=f, rule="diembft", endorsement=endorsement
+        )
+        blocks = []
+        for index, parent_index in enumerate(parents):
+            parent = builder.genesis if parent_index < 0 else blocks[parent_index]
+            block = builder.block(parent, round_number=index + 1)
+            blocks.append(block)
+            qc = builder.certify(block, voters=voter_sets[index])
+            endorsement.add_strong_qc(qc, now=float(index))
+            tracker.on_new_qc(qc, now=float(index))
+        for block in blocks:
+            parent = builder.store.parent(block.id())
+            if parent is None:
+                continue
+            assert tracker.strength_of(parent.id()) >= tracker.strength_of(
+                block.id()
+            )

@@ -1,0 +1,249 @@
+"""BlockStore: insertion, orphans, ancestry, certification queries."""
+
+import pytest
+
+from repro.types.block import Block, make_genesis
+from repro.types.chain import BlockStore, ChainError
+from tests.conftest import ChainBuilder
+
+
+class TestInsertion:
+    def test_genesis_present(self, builder):
+        assert builder.genesis.id() in builder.store
+        assert len(builder.store) == 1
+
+    def test_add_and_lookup(self, builder):
+        block = builder.block(builder.genesis, 1)
+        assert builder.store.get(block.id()) is block
+
+    def test_duplicate_add_is_noop(self, builder):
+        block = builder.block(builder.genesis, 1)
+        assert builder.store.add_block(block) == []
+        assert len(builder.store) == 2
+
+    def test_second_genesis_rejected(self, builder):
+        # A *different* parentless block must be rejected (the stored
+        # genesis itself deduplicates as a no-op).
+        with pytest.raises(ChainError):
+            builder.store.add_block(
+                Block(parent_id=None, qc=None, round=0, height=0, proposer=5)
+            )
+        assert builder.store.add_block(builder.genesis) == []
+
+    def test_height_must_extend_parent(self, builder):
+        bad = Block(
+            parent_id=builder.genesis.id(),
+            qc=builder.genesis_qc,
+            round=1,
+            height=5,
+            proposer=0,
+        )
+        with pytest.raises(ChainError):
+            builder.store.add_block(bad)
+
+    def test_round_must_exceed_parent(self, builder):
+        block = builder.block(builder.genesis, 3)
+        bad = Block(
+            parent_id=block.id(),
+            qc=None,
+            round=3,
+            height=block.height + 1,
+            proposer=0,
+        )
+        with pytest.raises(ChainError):
+            builder.store.add_block(bad)
+
+    def test_unknown_block_lookup_raises(self, builder):
+        genesis, _ = make_genesis()
+        missing = Block(
+            parent_id=genesis.id(), qc=None, round=9, height=1, proposer=0
+        )
+        with pytest.raises(ChainError):
+            builder.store.get(missing.id())
+        assert builder.store.maybe_get(missing.id()) is None
+
+
+class TestOrphans:
+    def test_orphan_buffered_then_flushed(self, builder):
+        parent = Block(
+            parent_id=builder.genesis.id(),
+            qc=builder.genesis_qc,
+            round=1,
+            height=1,
+            proposer=0,
+        )
+        child = Block(
+            parent_id=parent.id(), qc=None, round=2, height=2, proposer=1
+        )
+        assert builder.store.add_block(child) == []
+        assert child.id() not in builder.store
+        assert builder.store.is_awaited(parent.id())
+        inserted = builder.store.add_block(parent)
+        assert [b.id() for b in inserted] == [parent.id(), child.id()]
+        assert child.id() in builder.store
+        assert not builder.store.is_awaited(parent.id())
+
+    def test_orphan_chain_flushes_recursively(self, builder):
+        a = Block(
+            parent_id=builder.genesis.id(),
+            qc=builder.genesis_qc,
+            round=1,
+            height=1,
+            proposer=0,
+        )
+        b = Block(parent_id=a.id(), qc=None, round=2, height=2, proposer=0)
+        c = Block(parent_id=b.id(), qc=None, round=3, height=3, proposer=0)
+        builder.store.add_block(c)
+        builder.store.add_block(b)
+        assert builder.store.orphan_count() == 2
+        inserted = builder.store.add_block(a)
+        assert len(inserted) == 3
+        assert builder.store.orphan_count() == 0
+
+    def test_duplicate_orphan_not_buffered_twice(self, builder):
+        parent = Block(
+            parent_id=builder.genesis.id(),
+            qc=builder.genesis_qc,
+            round=1,
+            height=1,
+            proposer=0,
+        )
+        child = Block(parent_id=parent.id(), qc=None, round=2, height=2, proposer=0)
+        builder.store.add_block(child)
+        builder.store.add_block(child)
+        assert builder.store.orphan_count() == 1
+
+
+class TestAncestry:
+    def test_self_is_ancestor(self, builder):
+        block = builder.block(builder.genesis, 1)
+        assert builder.store.is_ancestor(block.id(), block.id())
+
+    def test_linear_chain_ancestry(self, builder):
+        blocks = builder.chain(builder.genesis, [1, 2, 3, 4])
+        assert builder.store.is_ancestor(blocks[0].id(), blocks[3].id())
+        assert not builder.store.is_ancestor(blocks[3].id(), blocks[0].id())
+        assert builder.store.is_ancestor(
+            builder.genesis.id(), blocks[3].id()
+        )
+
+    def test_fork_blocks_conflict(self, builder):
+        base = builder.block(builder.genesis, 1)
+        left = builder.block(base, 2)
+        right = builder.block(base, 3)
+        assert builder.store.conflicts(left.id(), right.id())
+        assert not builder.store.conflicts(base.id(), left.id())
+        assert not builder.store.conflicts(left.id(), left.id())
+
+    def test_common_ancestor_of_fork(self, builder):
+        base = builder.block(builder.genesis, 1)
+        left = builder.block(base, 2)
+        left2 = builder.block(left, 3)
+        right = builder.block(base, 4)
+        ancestor = builder.store.common_ancestor(left2.id(), right.id())
+        assert ancestor.id() == base.id()
+
+    def test_common_ancestor_on_same_branch(self, builder):
+        blocks = builder.chain(builder.genesis, [1, 2, 3])
+        ancestor = builder.store.common_ancestor(
+            blocks[0].id(), blocks[2].id()
+        )
+        assert ancestor.id() == blocks[0].id()
+
+    def test_ancestor_at_height(self, builder):
+        blocks = builder.chain(builder.genesis, [1, 2, 3])
+        assert (
+            builder.store.ancestor_at_height(blocks[2].id(), 1).id()
+            == blocks[0].id()
+        )
+        with pytest.raises(ChainError):
+            builder.store.ancestor_at_height(blocks[0].id(), 5)
+
+    def test_path_to_genesis(self, builder):
+        blocks = builder.chain(builder.genesis, [1, 2])
+        path = builder.store.path_to_genesis(blocks[1].id())
+        assert [b.round for b in path] == [2, 1, 0]
+
+    def test_iter_ancestors(self, builder):
+        blocks = builder.chain(builder.genesis, [1, 2])
+        rounds = [b.round for b in builder.store.iter_ancestors(blocks[1].id())]
+        assert rounds == [2, 1, 0]
+
+
+class TestCertification:
+    def test_record_qc_marks_certified(self, builder):
+        block = builder.block(builder.genesis, 1)
+        assert not builder.store.is_certified(block.id())
+        builder.certify(block)
+        assert builder.store.is_certified(block.id())
+
+    def test_highest_certified_tracks_round(self, builder):
+        low = builder.block(builder.genesis, 1)
+        builder.certify(low)
+        high = builder.block(low, 5)
+        builder.certify(high)
+        assert builder.store.highest_certified_block().id() == high.id()
+
+    def test_qc_for_unknown_block_not_recorded(self, builder):
+        genesis, _ = make_genesis()
+        phantom = Block(
+            parent_id=genesis.id(), qc=None, round=7, height=1, proposer=0
+        )
+        from repro.types.quorum_cert import QuorumCertificate
+
+        qc = QuorumCertificate(
+            block_id=phantom.id(), round=7, height=1, votes=()
+        )
+        assert not builder.store.record_qc(qc)
+
+    def test_longest_certified_tips(self, builder):
+        base = builder.block(builder.genesis, 1)
+        builder.certify(base)
+        left = builder.block(base, 2)
+        builder.certify(left)
+        right = builder.block(base, 3)
+        builder.certify(right)
+        tips = builder.store.longest_certified_tips()
+        assert {tip.id() for tip in tips} == {left.id(), right.id()}
+        assert builder.store.certified_chain_height() == 2
+
+    def test_uncertified_blocks_not_tips(self, builder):
+        base = builder.block(builder.genesis, 1)
+        builder.certify(base)
+        builder.block(base, 2)  # never certified
+        tips = builder.store.longest_certified_tips()
+        assert {tip.id() for tip in tips} == {base.id()}
+
+
+class TestBlocksByRoundAndHeight:
+    def test_equivocating_blocks_indexed_by_round(self, builder):
+        base = builder.block(builder.genesis, 1)
+        left = builder.block(base, 2)
+        right = builder.block(base, 2, proposer=1)
+        assert set(builder.store.blocks_at_round(2)) == {left.id(), right.id()}
+
+    def test_blocks_at_height(self, builder):
+        base = builder.block(builder.genesis, 1)
+        left = builder.block(base, 2)
+        right = builder.block(base, 3)
+        assert set(builder.store.blocks_at_height(2)) == {
+            left.id(),
+            right.id(),
+        }
+
+    def test_children(self, builder):
+        base = builder.block(builder.genesis, 1)
+        left = builder.block(base, 2)
+        right = builder.block(base, 3)
+        assert set(builder.store.children(base.id())) == {
+            left.id(),
+            right.id(),
+        }
+
+
+def test_chain_builder_uses_distinct_payload_tags():
+    chain_builder = ChainBuilder(f=1)
+    a = chain_builder.block(chain_builder.genesis, 1)
+    chain_builder2 = ChainBuilder(f=1)
+    b = chain_builder2.block(chain_builder2.genesis, 1)
+    assert a.id() == b.id()  # same tag sequence → deterministic tests

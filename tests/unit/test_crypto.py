@@ -1,0 +1,100 @@
+"""Hashing, signatures, and the PKI registry."""
+
+import pytest
+
+from repro.crypto.hashing import HashDigest, hash_bytes, hash_fields
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signatures import Signature, SigningKey
+
+
+class TestHashing:
+    def test_digest_is_32_bytes(self):
+        assert len(hash_bytes(b"x").value) == 32
+
+    def test_bad_digest_length_rejected(self):
+        with pytest.raises(ValueError):
+            HashDigest(b"short")
+
+    def test_hash_fields_deterministic(self):
+        assert hash_fields("block", 1) == hash_fields("block", 1)
+
+    def test_hash_fields_sensitive_to_order(self):
+        assert hash_fields(1, 2) != hash_fields(2, 1)
+
+    def test_hex_and_short_forms(self):
+        digest = hash_bytes(b"x")
+        assert digest.hex().startswith(digest.short())
+        assert len(digest.short()) == 10
+
+    def test_usable_as_dict_key(self):
+        digest_a = hash_bytes(b"a")
+        digest_b = hash_bytes(b"a")
+        table = {digest_a: 1}
+        assert table[digest_b] == 1
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        key = SigningKey(3, b"secret")
+        signature = key.sign(b"message")
+        assert key.verifying_key().verify(b"message", signature)
+
+    def test_wrong_message_rejected(self):
+        key = SigningKey(3, b"secret")
+        signature = key.sign(b"message")
+        assert not key.verifying_key().verify(b"other", signature)
+
+    def test_wrong_signer_id_rejected(self):
+        key = SigningKey(3, b"secret")
+        signature = Signature(signer=4, value=key.sign(b"m").value)
+        assert not key.verifying_key().verify(b"m", signature)
+
+    def test_different_secrets_do_not_cross_verify(self):
+        key_a = SigningKey(1, b"a")
+        key_b = SigningKey(1, b"b")
+        signature = key_a.sign(b"m")
+        assert not key_b.verifying_key().verify(b"m", signature)
+
+
+class TestKeyRegistry:
+    def test_registry_is_deterministic(self):
+        reg_a = KeyRegistry(4, seed=b"s")
+        reg_b = KeyRegistry(4, seed=b"s")
+        message = b"hello"
+        signature = reg_a.signing_key(2).sign(message)
+        assert reg_b.verify(message, signature)
+
+    def test_distinct_seeds_distinct_keys(self):
+        reg_a = KeyRegistry(4, seed=b"s1")
+        reg_b = KeyRegistry(4, seed=b"s2")
+        signature = reg_a.signing_key(0).sign(b"m")
+        assert not reg_b.verify(b"m", signature)
+
+    def test_out_of_range_signer_rejected(self):
+        registry = KeyRegistry(4)
+        signature = SigningKey(7, b"x").sign(b"m")
+        assert not registry.verify(b"m", signature)
+
+    def test_quorum_verification(self):
+        registry = KeyRegistry(4)
+        message = b"vote"
+        signatures = [registry.signing_key(i).sign(message) for i in range(3)]
+        assert registry.verify_quorum(message, signatures, quorum=3)
+
+    def test_quorum_counts_distinct_signers_only(self):
+        registry = KeyRegistry(4)
+        message = b"vote"
+        one = registry.signing_key(0).sign(message)
+        assert not registry.verify_quorum(message, [one, one, one], quorum=2)
+
+    def test_quorum_ignores_invalid_signatures(self):
+        registry = KeyRegistry(4)
+        message = b"vote"
+        good = [registry.signing_key(i).sign(message) for i in range(2)]
+        bad = [registry.signing_key(2).sign(b"other")]
+        assert not registry.verify_quorum(message, good + bad, quorum=3)
+        assert registry.verify_quorum(message, good, quorum=2)
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRegistry(0)

@@ -1,0 +1,134 @@
+"""IntervalSet algebra (Section 3.4 substrate)."""
+
+import pytest
+
+from repro.core.intervals import IntervalSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert IntervalSet.empty().is_empty()
+        assert not IntervalSet.empty()
+        assert len(IntervalSet.empty()) == 0
+
+    def test_single(self):
+        interval = IntervalSet.single(2, 5)
+        assert interval.pairs() == ((2, 5),)
+        assert interval.count() == 4
+
+    def test_inverted_interval_is_empty(self):
+        assert IntervalSet.single(5, 2).is_empty()
+
+    def test_point(self):
+        assert IntervalSet.point(7).pairs() == ((7, 7),)
+
+    def test_overlapping_intervals_merge(self):
+        merged = IntervalSet.from_pairs([(1, 5), (3, 8)])
+        assert merged.pairs() == ((1, 8),)
+
+    def test_adjacent_intervals_merge(self):
+        merged = IntervalSet.from_pairs([(1, 3), (4, 6)])
+        assert merged.pairs() == ((1, 6),)
+
+    def test_disjoint_intervals_kept_sorted(self):
+        intervals = IntervalSet.from_pairs([(10, 12), (1, 3)])
+        assert intervals.pairs() == ((1, 3), (10, 12))
+
+    def test_normalization_is_canonical(self):
+        a = IntervalSet.from_pairs([(1, 2), (3, 4)])
+        b = IntervalSet.from_pairs([(1, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMembership:
+    def test_contains(self):
+        intervals = IntervalSet.from_pairs([(1, 3), (7, 9)])
+        assert 1 in intervals
+        assert 3 in intervals
+        assert 8 in intervals
+        assert 4 not in intervals
+        assert 0 not in intervals
+        assert 10 not in intervals
+
+    def test_min_max(self):
+        intervals = IntervalSet.from_pairs([(5, 6), (1, 2)])
+        assert intervals.min() == 1
+        assert intervals.max() == 6
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet.empty().min()
+        with pytest.raises(ValueError):
+            IntervalSet.empty().max()
+
+    def test_iter_values(self):
+        intervals = IntervalSet.from_pairs([(1, 2), (5, 5)])
+        assert list(intervals.iter_values()) == [1, 2, 5]
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet.single(1, 3)
+        b = IntervalSet.single(5, 7)
+        assert a.union(b).pairs() == ((1, 3), (5, 7))
+
+    def test_union_merges_overlap(self):
+        a = IntervalSet.single(1, 5)
+        b = IntervalSet.single(4, 9)
+        assert a.union(b).pairs() == ((1, 9),)
+
+    def test_intersection(self):
+        a = IntervalSet.from_pairs([(1, 5), (8, 12)])
+        b = IntervalSet.from_pairs([(4, 9)])
+        assert a.intersection(b).pairs() == ((4, 5), (8, 9))
+
+    def test_intersection_empty(self):
+        a = IntervalSet.single(1, 2)
+        b = IntervalSet.single(5, 6)
+        assert a.intersection(b).is_empty()
+
+    def test_subtract_middle_splits(self):
+        base = IntervalSet.single(1, 10)
+        removed = base.subtract(IntervalSet.single(4, 6))
+        assert removed.pairs() == ((1, 3), (7, 10))
+
+    def test_subtract_edges(self):
+        base = IntervalSet.single(1, 10)
+        assert base.subtract(IntervalSet.single(1, 3)).pairs() == ((4, 10),)
+        assert base.subtract(IntervalSet.single(8, 10)).pairs() == ((1, 7),)
+
+    def test_subtract_everything(self):
+        base = IntervalSet.single(3, 5)
+        assert base.subtract(IntervalSet.single(1, 9)).is_empty()
+
+    def test_subtract_multiple_holes(self):
+        base = IntervalSet.single(1, 20)
+        holes = IntervalSet.from_pairs([(3, 4), (8, 8), (15, 18)])
+        result = base.subtract(holes)
+        assert result.pairs() == ((1, 2), (5, 7), (9, 14), (19, 20))
+
+    def test_issubset(self):
+        small = IntervalSet.from_pairs([(2, 3), (7, 7)])
+        big = IntervalSet.single(1, 10)
+        assert small.issubset(big)
+        assert not big.issubset(small)
+        assert IntervalSet.empty().issubset(small)
+
+    def test_overlaps(self):
+        a = IntervalSet.single(1, 5)
+        assert a.overlaps(IntervalSet.single(5, 9))
+        assert not a.overlaps(IntervalSet.single(6, 9))
+
+    def test_clamp(self):
+        intervals = IntervalSet.from_pairs([(1, 5), (8, 12)])
+        assert intervals.clamp(3, 9).pairs() == ((3, 5), (8, 9))
+
+    def test_paper_interval_computation_shape(self):
+        # I = [1, r] \ D_F with D_F = [r_l + 1, r_h] (Section 3.4).
+        r = 10
+        base = IntervalSet.single(1, r)
+        d_fork = IntervalSet.single(4, 7)  # r_l = 3, r_h = 7
+        endorsed = base.subtract(d_fork)
+        assert endorsed.pairs() == ((1, 3), (8, 10))
+        assert r in endorsed  # the voted round itself is always endorsed

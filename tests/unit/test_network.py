@@ -1,0 +1,214 @@
+"""Network layer: delays, jitter, GST, partitions, bandwidth, stats."""
+
+from repro.net.network import Network, NetworkConfig, wire_size_bytes
+from repro.net.simulator import Simulator
+from repro.net.topology import UniformTopology
+from repro.types.block import make_genesis
+from repro.types.messages import ProposalMsg, TimeoutMsg, VoteMsg
+from repro.types.transaction import Payload, TxBatch
+from repro.types.vote import Vote
+
+
+class Recorder:
+    """Captures deliveries with timestamps."""
+
+    def __init__(self, simulator):
+        self.simulator = simulator
+        self.received = []
+
+    def deliver(self, src, message):
+        self.received.append((self.simulator.now, src, message))
+
+
+def make_network(n=3, delay=0.01, **config_kwargs):
+    simulator = Simulator()
+    network = Network(
+        simulator, UniformTopology(n, delay=delay), NetworkConfig(**config_kwargs)
+    )
+    recorders = []
+    for replica_id in range(n):
+        recorder = Recorder(simulator)
+        network.register(replica_id, recorder)
+        recorders.append(recorder)
+    return simulator, network, recorders
+
+
+class TestDelivery:
+    def test_send_arrives_after_delay(self):
+        simulator, network, recorders = make_network()
+        network.send(0, 1, "hello")
+        simulator.run_until(1.0)
+        assert recorders[1].received == [(0.01, 0, "hello")]
+
+    def test_self_send_is_instant(self):
+        simulator, network, recorders = make_network()
+        network.send(0, 0, "self")
+        simulator.run_until(1.0)
+        assert recorders[0].received[0][0] == 0.0
+
+    def test_multicast_excludes_self_by_default(self):
+        simulator, network, recorders = make_network()
+        network.multicast(0, "m")
+        simulator.run_until(1.0)
+        assert recorders[0].received == []
+        assert len(recorders[1].received) == 1
+        assert len(recorders[2].received) == 1
+
+    def test_multicast_include_self(self):
+        simulator, network, recorders = make_network()
+        network.multicast(0, "m", include_self=True)
+        simulator.run_until(1.0)
+        assert len(recorders[0].received) == 1
+
+    def test_unregistered_destination_dropped(self):
+        simulator, network, _ = make_network()
+        network.unregister(2)
+        network.send(0, 2, "gone")
+        simulator.run_until(1.0)
+        assert network.dropped_to_unregistered == 1
+
+    def test_jitter_within_bound(self):
+        simulator, network, recorders = make_network(jitter=0.005, seed=7)
+        for _ in range(20):
+            network.send(0, 1, "x")
+        simulator.run_until(1.0)
+        times = [t for t, _, _ in recorders[1].received]
+        assert all(0.01 <= t <= 0.015 + 1e-9 for t in times)
+        assert len(set(times)) > 1  # jitter actually varies
+
+    def test_deterministic_for_fixed_seed(self):
+        def run():
+            simulator, network, recorders = make_network(jitter=0.005, seed=3)
+            for _ in range(5):
+                network.send(0, 1, "x")
+            simulator.run_until(1.0)
+            return [t for t, _, _ in recorders[1].received]
+
+        assert run() == run()
+
+
+class TestGST:
+    def test_pre_gst_messages_delayed(self):
+        simulator, network, recorders = make_network(
+            gst=1.0, pre_gst_delay=0.5
+        )
+        network.send(0, 1, "early")
+        simulator.run_until(2.0)
+        arrival = recorders[1].received[0][0]
+        assert arrival >= 1.0
+
+    def test_post_gst_messages_normal(self):
+        simulator, network, recorders = make_network(gst=1.0, pre_gst_delay=0.5)
+        simulator.schedule_at(1.5, network.send, 0, 1, "late")
+        simulator.run_until(3.0)
+        arrival = recorders[1].received[0][0]
+        assert abs(arrival - 1.51) < 1e-9
+
+
+class TestPartitions:
+    def test_cross_partition_held_until_heal(self):
+        simulator, network, recorders = make_network()
+        network.add_partition([(0,), (1, 2)], start=0.0, end=1.0)
+        network.send(0, 1, "blocked")
+        simulator.run_until(2.0)
+        arrival = recorders[1].received[0][0]
+        assert arrival >= 1.0
+
+    def test_same_side_unaffected(self):
+        simulator, network, recorders = make_network()
+        network.add_partition([(0,), (1, 2)], start=0.0, end=1.0)
+        network.send(1, 2, "ok")
+        simulator.run_until(2.0)
+        assert recorders[2].received[0][0] == 0.01
+
+    def test_partition_window_only(self):
+        simulator, network, recorders = make_network()
+        network.add_partition([(0,), (1, 2)], start=0.5, end=1.0)
+        network.send(0, 1, "before-window")
+        simulator.run_until(2.0)
+        assert recorders[1].received[0][0] == 0.01
+
+
+class TestBandwidth:
+    def test_uplink_serialization_staggers_multicast(self):
+        simulator, network, recorders = make_network(
+            bandwidth_bytes_per_sec=1000.0
+        )
+        genesis, genesis_qc = make_genesis()
+        from repro.types.block import Block
+
+        block = Block(
+            parent_id=genesis.id(),
+            qc=genesis_qc,
+            round=1,
+            height=1,
+            proposer=0,
+            payload=Payload(batch=TxBatch(count=1, size_bytes=1000)),
+        )
+        proposal = ProposalMsg(sender=0, round=1, block=block)
+        network.multicast(0, proposal)
+        simulator.run_until(100.0)
+        t1 = recorders[1].received[0][0]
+        t2 = recorders[2].received[0][0]
+        # Each copy serializes ~3 s (3064 bytes at 1 KB/s): arrivals differ.
+        assert abs(t1 - t2) > 1.0
+
+    def test_no_bandwidth_means_synchronized_arrivals(self):
+        simulator, network, recorders = make_network()
+        network.multicast(0, "m")
+        simulator.run_until(1.0)
+        assert recorders[1].received[0][0] == recorders[2].received[0][0]
+
+
+class TestProcessingDelay:
+    def test_processing_delay_applied(self):
+        simulator, network, recorders = make_network(processing_delay=0.003)
+        network.send(0, 1, "x")
+        simulator.run_until(1.0)
+        assert abs(recorders[1].received[0][0] - 0.013) < 1e-9
+
+
+class TestWireSizes:
+    def test_proposal_size_scales_with_payload(self):
+        genesis, genesis_qc = make_genesis()
+        from repro.types.block import Block
+
+        small = Block(
+            parent_id=genesis.id(), qc=genesis_qc, round=1, height=1,
+            proposer=0, payload=Payload(batch=TxBatch(count=1, size_bytes=10)),
+        )
+        big = Block(
+            parent_id=genesis.id(), qc=genesis_qc, round=1, height=1,
+            proposer=0,
+            payload=Payload(batch=TxBatch(count=1000, size_bytes=450_000)),
+        )
+        assert wire_size_bytes(
+            ProposalMsg(sender=0, round=1, block=big)
+        ) > wire_size_bytes(ProposalMsg(sender=0, round=1, block=small))
+
+    def test_vote_smaller_than_proposal(self):
+        genesis, genesis_qc = make_genesis()
+        from repro.types.block import Block
+
+        block = Block(
+            parent_id=genesis.id(), qc=genesis_qc, round=1, height=1,
+            proposer=0, payload=Payload(batch=TxBatch(count=1, size_bytes=10)),
+        )
+        vote = Vote(block_id=block.id(), block_round=1, height=1, voter=0)
+        assert wire_size_bytes(VoteMsg(sender=0, vote=vote)) < wire_size_bytes(
+            ProposalMsg(sender=0, round=1, block=block)
+        )
+
+    def test_stats_track_types(self):
+        simulator, network, _ = make_network()
+        genesis, genesis_qc = make_genesis()
+        qc = genesis_qc
+        network.send(0, 1, TimeoutMsg(sender=0, round=1, qc_high=qc))
+        network.send(0, 1, TimeoutMsg(sender=0, round=2, qc_high=qc))
+        simulator.run_until(1.0)
+        stats = network.stats()
+        assert stats["sent"] == 2
+        assert stats["by_type"]["TimeoutMsg"] == 2
+        network.reset_counters()
+        assert network.stats()["sent"] == 0
+        del genesis

@@ -1,0 +1,84 @@
+"""Strength levels, ratio grid, timelines."""
+
+import pytest
+
+from repro.core.resilience import (
+    StrengthTimeline,
+    level_for_ratio,
+    max_strength,
+    ratio_grid,
+)
+from repro.types.block import make_genesis
+
+
+class TestLevels:
+    def test_max_strength(self):
+        assert max_strength(33) == 66
+
+    def test_paper_grid_f33(self):
+        # Paper convention: 1.7f with f=33 denotes x = 56 = 2f - 10.
+        assert level_for_ratio(1.0, 33) == 33
+        assert level_for_ratio(1.7, 33) == 56
+        assert level_for_ratio(2.0, 33) == 66
+
+    def test_float_artifacts_guarded(self):
+        # 1.1 * 33 = 36.30000000000000426…
+        assert level_for_ratio(1.1, 33) == 36
+        # 1.7 * 10 = 16.999999999999998
+        assert level_for_ratio(1.7, 10) == 17
+
+    def test_ratio_grid_default(self):
+        grid = ratio_grid()
+        assert grid[0] == 1.0
+        assert grid[-1] == 2.0
+        assert len(grid) == 11
+
+    def test_ratio_grid_custom(self):
+        assert ratio_grid(1.0, 1.4, 0.2) == (1.0, 1.2, 1.4)
+
+
+class TestStrengthTimeline:
+    def _timeline(self):
+        genesis, _ = make_genesis()
+        return StrengthTimeline(genesis)
+
+    def test_raise_records_every_level(self):
+        timeline = self._timeline()
+        assert timeline.raise_to(3, now=1.0)
+        assert timeline.first_reached(0) == 1.0
+        assert timeline.first_reached(3) == 1.0
+        assert timeline.first_reached(4) is None
+
+    def test_raise_is_monotone(self):
+        timeline = self._timeline()
+        timeline.raise_to(3, now=1.0)
+        assert not timeline.raise_to(2, now=2.0)
+        assert not timeline.raise_to(3, now=2.0)
+        assert timeline.current == 3
+
+    def test_later_levels_stamped_later(self):
+        timeline = self._timeline()
+        timeline.raise_to(2, now=1.0)
+        timeline.raise_to(5, now=4.0)
+        assert timeline.first_reached(2) == 1.0
+        assert timeline.first_reached(3) == 4.0
+        assert timeline.first_reached(5) == 4.0
+
+    def test_latency_relative_to_creation(self):
+        from repro.types.block import Block
+        from repro.types.quorum_cert import QuorumCertificate
+
+        genesis, genesis_qc = make_genesis()
+        block = Block(
+            parent_id=genesis.id(),
+            qc=genesis_qc,
+            round=1,
+            height=1,
+            proposer=0,
+            created_at=10.0,
+        )
+        timeline = StrengthTimeline(block)
+        timeline.raise_to(1, now=12.5)
+        assert timeline.latency_to(1) == pytest.approx(2.5)
+        assert timeline.latency_to(2) is None
+        del QuorumCertificate

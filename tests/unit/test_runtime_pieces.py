@@ -1,0 +1,162 @@
+"""ExperimentConfig, mempool, metrics helpers, report formatting."""
+
+import pytest
+
+from repro.analysis.ascii_chart import line_chart
+from repro.analysis.report import (
+    format_fig7_table,
+    format_series_csv,
+    format_simple_table,
+)
+from repro.runtime.client import Mempool
+from repro.runtime.config import ExperimentConfig, build_cluster
+from repro.runtime.metrics import LatencyReport
+from repro.types.transaction import Transaction
+
+
+class TestExperimentConfig:
+    def test_default_f_from_n(self):
+        assert ExperimentConfig(n=100).resolved_f() == 33
+        assert ExperimentConfig(n=7).resolved_f() == 2
+
+    def test_explicit_f_wins(self):
+        assert ExperimentConfig(n=10, f=3).resolved_f() == 3
+
+    def test_with_overrides_copies(self):
+        base = ExperimentConfig(n=7)
+        changed = base.with_overrides(delta=0.2)
+        assert changed.delta == 0.2
+        assert base.delta == 0.1
+        assert changed.n == 7
+
+    def test_observer_stride(self):
+        config = ExperimentConfig(n=10, observers=3)
+        assert config.observer_ids() == (0, 3, 6, 9)
+
+    def test_observer_all(self):
+        config = ExperimentConfig(n=4, observers="all")
+        assert config.observer_ids() == (0, 1, 2, 3)
+
+    def test_observer_explicit(self):
+        config = ExperimentConfig(n=10, observers=(1, 5))
+        assert config.observer_ids() == (1, 5)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            build_cluster(ExperimentConfig(protocol="pbft"))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="mesh").build_topology()
+
+    def test_asymmetric_requires_n_100(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="asymmetric", n=10).build_topology()
+
+    def test_streamlet_round_duration_derived(self):
+        config = ExperimentConfig(
+            protocol="streamlet", n=7, topology="uniform", uniform_delay=0.01,
+            jitter=0.002,
+        )
+        replica_config = config.replica_config(0)
+        assert replica_config.round_duration >= 2 * (0.01 + 0.002)
+
+    def test_replica_config_observer_flag(self):
+        config = ExperimentConfig(n=10, observers=(0,))
+        assert config.replica_config(0).observer
+        assert not config.replica_config(5).observer
+
+
+class TestMempool:
+    def _txn(self, sequence):
+        return Transaction(client_id=1, sequence=sequence)
+
+    def test_submit_and_payload(self):
+        mempool = Mempool(max_block_transactions=2)
+        for sequence in range(3):
+            mempool.submit(self._txn(sequence))
+        payload = mempool.make_payload(now=0.0)
+        assert payload.tx_count() == 2
+        # Transactions stay pending until committed.
+        assert mempool.pending_count() == 3
+
+    def test_remove_committed(self):
+        mempool = Mempool()
+        txn = self._txn(0)
+        mempool.submit(txn)
+        mempool.remove_committed([txn])
+        assert mempool.pending_count() == 0
+
+    def test_duplicate_submissions_deduplicated(self):
+        mempool = Mempool()
+        txn = self._txn(0)
+        mempool.submit(txn)
+        mempool.submit(txn)
+        assert mempool.pending_count() == 1
+
+
+class TestLatencyReport:
+    def test_reached_fraction(self):
+        report = LatencyReport(
+            ratio=1.5, level=49, mean_latency=2.0, samples=30, eligible=40
+        )
+        assert report.reached_fraction() == 0.75
+
+    def test_reached_fraction_empty(self):
+        report = LatencyReport(
+            ratio=1.5, level=49, mean_latency=None, samples=0, eligible=0
+        )
+        assert report.reached_fraction() == 0.0
+
+
+class TestReportFormatting:
+    def test_simple_table_alignment(self):
+        table = format_simple_table(
+            ["a", "bb"], [[1, 2.5], [None, 30]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "—" in table
+        assert "2.500" in table
+
+    def test_fig7_table_shape(self):
+        series = {
+            "δ=100ms": [
+                LatencyReport(1.0, 33, 4.5, 100, 100),
+                LatencyReport(2.0, 66, 9.5, 80, 100),
+            ],
+            "δ=200ms": [
+                LatencyReport(1.0, 33, 5.5, 100, 100),
+                LatencyReport(2.0, 66, None, 0, 100),
+            ],
+        }
+        table = format_fig7_table(series, title="Figure 7a")
+        assert "Figure 7a" in table
+        assert "1.0" in table and "2.0" in table
+        assert "9.500" in table
+        assert "—" in table  # unreached level renders as dash
+
+    def test_series_csv(self):
+        series = [LatencyReport(1.0, 33, 4.5, 100, 120)]
+        csv = format_series_csv(series, label="sym")
+        assert "ratio,level,mean_latency_s,samples,eligible" in csv
+        assert "1.0,33,4.500000,100,120" in csv
+
+
+class TestAsciiChart:
+    def test_chart_renders_points(self):
+        chart = line_chart(
+            {"a": [(1.0, 2.0), (2.0, 4.0)], "b": [(1.0, 3.0)]},
+            width=20,
+            height=5,
+        )
+        assert "legend" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_chart_skips_none(self):
+        chart = line_chart({"a": [(1.0, None), (2.0, 4.0)]}, width=10, height=4)
+        assert "(no data)" not in chart
+
+    def test_chart_empty(self):
+        assert line_chart({"a": []}) == "(no data)"

@@ -1,0 +1,62 @@
+"""Canonical serialization: injectivity and type coverage."""
+
+import pytest
+
+from repro.crypto.serialization import SerializationError, canonical_bytes
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        assert canonical_bytes(1, "a", b"b") == canonical_bytes(1, "a", b"b")
+
+    def test_distinguishes_int_from_str(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+
+    def test_distinguishes_str_from_bytes(self):
+        assert canonical_bytes("a") != canonical_bytes(b"a")
+
+    def test_distinguishes_bool_from_int(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(False) != canonical_bytes(0)
+
+    def test_none_supported(self):
+        assert canonical_bytes(None) != canonical_bytes(0)
+
+    def test_nested_structure_differs_from_flat(self):
+        assert canonical_bytes(1, "a") != canonical_bytes((1, "a"))
+
+    def test_empty_sequences_differ_by_nesting(self):
+        assert canonical_bytes(()) != canonical_bytes(((),))
+
+    def test_negative_integers(self):
+        assert canonical_bytes(-1) != canonical_bytes(1)
+        assert canonical_bytes(-256) != canonical_bytes(-255)
+
+    def test_large_integers(self):
+        big = 2**200
+        assert canonical_bytes(big) != canonical_bytes(big + 1)
+
+    def test_string_boundary_not_ambiguous(self):
+        # A classic failure mode: ("ab", "c") colliding with ("a", "bc").
+        assert canonical_bytes("ab", "c") != canonical_bytes("a", "bc")
+
+    def test_bytes_boundary_not_ambiguous(self):
+        assert canonical_bytes(b"ab", b"c") != canonical_bytes(b"a", b"bc")
+
+    def test_floats_encoded_fixed_width(self):
+        assert canonical_bytes(1.5) != canonical_bytes(1.25)
+        assert canonical_bytes(0.0) == canonical_bytes(0.0)
+
+    def test_lists_and_tuples_equivalent(self):
+        assert canonical_bytes([1, 2]) == canonical_bytes((1, 2))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SerializationError):
+            canonical_bytes({"a": 1})
+
+    def test_unsupported_nested_type_raises(self):
+        with pytest.raises(SerializationError):
+            canonical_bytes((1, {"a": 1}))
+
+    def test_unicode_strings(self):
+        assert canonical_bytes("héllo") != canonical_bytes("hello")

@@ -1,0 +1,108 @@
+"""Discrete-event simulator: ordering, timers, determinism."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(2.0, order.append, "b")
+        simulator.schedule_at(1.0, order.append, "a")
+        simulator.schedule_at(3.0, order.append, "c")
+        simulator.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        simulator = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            simulator.schedule_at(1.0, order.append, tag)
+        simulator.run_until(1.0)
+        assert order == ["first", "second", "third"]
+
+    def test_now_advances_with_events(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(1.5, lambda: seen.append(simulator.now))
+        simulator.run_until(5.0)
+        assert seen == [1.5]
+        assert simulator.now == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run_until(1.0)
+        with pytest.raises(ValueError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        simulator = Simulator()
+        result = []
+
+        def first():
+            simulator.schedule_in(1.0, lambda: result.append(simulator.now))
+
+        simulator.schedule_at(1.0, first)
+        simulator.run_until(5.0)
+        assert result == [2.0]
+
+    def test_run_until_does_not_run_future_events(self):
+        simulator = Simulator()
+        ran = []
+        simulator.schedule_at(5.0, ran.append, "late")
+        simulator.run_until(4.0)
+        assert ran == []
+        simulator.run_until(5.0)
+        assert ran == ["late"]
+
+
+class TestCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule_at(1.0, fired.append, "x")
+        handle.cancel()
+        simulator.run_until(2.0)
+        assert fired == []
+
+    def test_cancel_after_fire_is_harmless(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule_at(1.0, fired.append, "x")
+        simulator.run_until(2.0)
+        handle.cancel()
+        assert fired == ["x"]
+
+
+class TestDraining:
+    def test_run_until_idle_counts_events(self):
+        simulator = Simulator()
+        for index in range(5):
+            simulator.schedule_at(float(index), lambda: None)
+        assert simulator.run_until_idle() == 5
+
+    def test_run_until_idle_respects_cap(self):
+        simulator = Simulator()
+
+        def reschedule():
+            simulator.schedule_in(1.0, reschedule)
+
+        simulator.schedule_at(0.0, reschedule)
+        executed = simulator.run_until_idle(max_events=10)
+        assert executed == 10
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        simulator = Simulator()
+        simulator.schedule_at(0.0, lambda: None)
+        simulator.run_until(1.0)
+        assert simulator.events_processed == 1
