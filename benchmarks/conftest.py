@@ -4,11 +4,16 @@ Every benchmark simulates a full cluster (pytest-benchmark times the
 simulation) and then prints the series/rows the corresponding paper
 figure reports, so ``pytest benchmarks/ --benchmark-only -s`` yields a
 direct paper-vs-measured comparison (recorded in EXPERIMENTS.md).
+
+All cluster construction goes through the campaign engine's
+:class:`~repro.experiments.ScenarioSpec`, so the benchmarks exercise
+the exact same factory path as ``repro campaign run`` and the bundled
+``scenarios/`` files.
 """
 
 from __future__ import annotations
 
-from repro.runtime.config import ExperimentConfig, build_cluster
+from repro.experiments import ScenarioSpec, reports_from_series
 from repro.runtime.metrics import (
     regular_commit_latency,
     strong_latency_series,
@@ -16,6 +21,73 @@ from repro.runtime.metrics import (
 
 PAPER_N = 100
 PAPER_RATIOS = tuple(round(1.0 + 0.1 * i, 1) for i in range(11))
+
+
+def symmetric_spec(
+    delta: float,
+    duration: float = 40.0,
+    seed: int = 11,
+    qc_extra_wait: float = 0.0,
+    bandwidth: float = 125_000_000.0,
+    protocol: str = "sft-diembft",
+) -> ScenarioSpec:
+    """One paper-scale symmetric-geo scenario (Figure 7a / 8 setting).
+
+    Bandwidth modelling (450 KB blocks on 1 Gbps uplinks) staggers
+    proposal dissemination exactly like the paper's testbed, which
+    spreads vote arrivals and makes strong-QC membership diverse.
+    """
+    return ScenarioSpec(
+        name="fig7a_symmetric",
+        protocol=protocol,
+        n=PAPER_N,
+        topology="symmetric",
+        delta=delta,
+        jitter=0.004,
+        duration=duration,
+        round_timeout=3.0,
+        seeds=(seed,),
+        qc_extra_wait=qc_extra_wait,
+        verify_signatures=False,
+        observers=10,
+        bandwidth_bytes_per_sec=bandwidth,
+        block_batch_count=1000,
+        block_batch_bytes=450_000,
+        ratios=PAPER_RATIOS,
+        cutoff_fraction=0.66,
+    )
+
+
+def asymmetric_spec(
+    delta: float, duration: float = 30.0, seed: int = 13
+) -> ScenarioSpec:
+    """One paper-scale asymmetric-geo scenario (Figure 7b setting).
+
+    The 150 ms flat round timeout reproduces the paper's observed
+    region-C leader replacement at δ = 200 ms while keeping C-led
+    rounds viable at δ = 100 ms (Section 4.1).
+    """
+    return ScenarioSpec(
+        name="fig7b_asymmetric",
+        protocol="sft-diembft",
+        n=PAPER_N,
+        topology="asymmetric",
+        delta=delta,
+        jitter=0.004,
+        duration=duration,
+        round_timeout=0.15,
+        timeout_multiplier=1.0,
+        seeds=(seed,),
+        verify_signatures=False,
+        observers=10,
+        block_batch_count=1000,
+        block_batch_bytes=450_000,
+        ratios=PAPER_RATIOS,
+        cutoff_fraction=0.6,
+        # The paper's "strong-QC in the blockchain" accounting: series
+        # over region-A/B observers only (region C is ids 90–99).
+        series_observers=tuple(range(0, 90, 10)),
+    )
 
 
 def run_symmetric(
@@ -26,50 +98,26 @@ def run_symmetric(
     bandwidth: float = 125_000_000.0,
     protocol: str = "sft-diembft",
 ):
-    """One paper-scale symmetric-geo run (Figure 7a / Figure 8 setting).
-
-    Bandwidth modelling (450 KB blocks on 1 Gbps uplinks) staggers
-    proposal dissemination exactly like the paper's testbed, which
-    spreads vote arrivals and makes strong-QC membership diverse.
-    """
-    config = ExperimentConfig(
-        protocol=protocol,
-        n=PAPER_N,
-        topology="symmetric",
-        delta=delta,
-        jitter=0.004,
+    """Build and run one symmetric-geo cluster via the scenario path."""
+    spec = symmetric_spec(
+        delta,
         duration=duration,
-        round_timeout=3.0,
         seed=seed,
         qc_extra_wait=qc_extra_wait,
-        verify_signatures=False,
-        observers=10,
-        bandwidth_bytes_per_sec=bandwidth,
+        bandwidth=bandwidth,
+        protocol=protocol,
     )
-    return build_cluster(config).run()
+    return spec.build(seed).run()
 
 
 def run_asymmetric(delta: float, duration: float = 30.0, seed: int = 13):
-    """One paper-scale asymmetric-geo run (Figure 7b setting).
+    """Build and run one asymmetric-geo cluster via the scenario path."""
+    return asymmetric_spec(delta, duration=duration, seed=seed).build(seed).run()
 
-    The 150 ms flat round timeout reproduces the paper's observed
-    region-C leader replacement at δ = 200 ms while keeping C-led
-    rounds viable at δ = 100 ms (Section 4.1).
-    """
-    config = ExperimentConfig(
-        protocol="sft-diembft",
-        n=PAPER_N,
-        topology="asymmetric",
-        delta=delta,
-        jitter=0.004,
-        duration=duration,
-        round_timeout=0.15,
-        timeout_multiplier=1.0,
-        seed=seed,
-        verify_signatures=False,
-        observers=10,
-    )
-    return build_cluster(config).run()
+
+def series_from_job(job_entry: dict) -> list:
+    """Rebuild LatencyReport points from a campaign job's metrics."""
+    return reports_from_series(job_entry["metrics"]["strong_latency_series"])
 
 
 def latency_table_rows(cluster, cutoff_fraction: float = 0.66):

@@ -8,25 +8,34 @@ Expected shape (paper): latency grows near-linearly with x; a jump at
 1.1f (one extra strong-QC round-trip beyond the 3-chain) and a larger
 jump at 2f (stragglers' votes enter strong-QCs rarely); δ = 200 ms
 shifts the whole curve up.
+
+Runs as a two-job campaign (matrix over δ) through the experiment
+engine — the same path as ``repro campaign run scenarios/fig7a_*``.
 """
 
 from repro.analysis import format_fig7_table, line_chart
-from repro.runtime.metrics import check_commit_safety
+from repro.experiments import Campaign, CampaignRunner
 
-from benchmarks.conftest import latency_table_rows, run_symmetric
+from benchmarks.conftest import series_from_job, symmetric_spec
 
 
 def test_fig7a_symmetric_geo_distribution(benchmark):
+    campaign = Campaign(
+        symmetric_spec(delta=0.100), matrix={"delta": [0.100, 0.200]}
+    )
+    report = {}
+
+    def run_campaign():
+        report.update(CampaignRunner(campaign.expand(), workers=1).run())
+        return report
+
+    benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+
     results = {}
-
-    def run_both():
-        for delta in (0.100, 0.200):
-            cluster = run_symmetric(delta=delta)
-            check_commit_safety(cluster.observer_replicas())
-            results[f"δ={delta * 1000:.0f}ms"] = latency_table_rows(cluster)
-        return results
-
-    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for job_entry in report["jobs"]:
+        assert job_entry["metrics"]["safety_ok"], job_entry["job_id"]
+        label = f"δ={job_entry['params']['delta'] * 1000:.0f}ms"
+        results[label] = series_from_job(job_entry)
 
     print()
     print(format_fig7_table(

@@ -11,50 +11,36 @@ Expected shape (paper):
   when a C replica collects votes (10 rounds per 100) → large jump;
 * at δ = 200 ms, C-led rounds time out and are replaced, so region-C
   votes never reach the chain and the A/B view caps at 1.7f.
+
+Runs as a two-job campaign (matrix over δ) through the experiment
+engine; the spec's ``series_observers`` restricts the latency series
+to region-A/B observers — the paper's "strong-QC in the blockchain"
+accounting (see EXPERIMENTS.md).
 """
 
 from repro.analysis import format_fig7_table
-from repro.runtime.metrics import check_commit_safety, strong_latency_series
+from repro.experiments import Campaign, CampaignRunner
 
-from benchmarks.conftest import PAPER_RATIOS, run_asymmetric
-
-
-def _ab_observer_series(cluster):
-    """Series over region-A/B observers (the paper's on-chain view).
-
-    Region-C replicas locally process QCs formed by C collectors even
-    in rounds the rest of the network skipped; restricting to A/B
-    observers matches the paper's "strong-QC in the blockchain"
-    accounting (see EXPERIMENTS.md).
-    """
-    cutoff = cluster.simulator.now * 0.6
-    region_c = set(range(90, 100))
-    saved = cluster.config.observers
-    ab_ids = tuple(
-        replica_id
-        for replica_id in cluster.config.observer_ids()
-        if replica_id not in region_c
-    )
-    cluster.config.observers = ab_ids
-    try:
-        return strong_latency_series(
-            cluster, PAPER_RATIOS, created_before=cutoff
-        )
-    finally:
-        cluster.config.observers = saved
+from benchmarks.conftest import asymmetric_spec, series_from_job
 
 
 def test_fig7b_asymmetric_geo_distribution(benchmark):
+    campaign = Campaign(
+        asymmetric_spec(delta=0.100), matrix={"delta": [0.100, 0.200]}
+    )
+    report = {}
+
+    def run_campaign():
+        report.update(CampaignRunner(campaign.expand(), workers=1).run())
+        return report
+
+    benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+
     results = {}
-
-    def run_both():
-        for delta in (0.100, 0.200):
-            cluster = run_asymmetric(delta=delta)
-            check_commit_safety(cluster.observer_replicas())
-            results[f"δ={delta * 1000:.0f}ms"] = _ab_observer_series(cluster)
-        return results
-
-    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for job_entry in report["jobs"]:
+        assert job_entry["metrics"]["safety_ok"], job_entry["job_id"]
+        label = f"δ={job_entry['params']['delta'] * 1000:.0f}ms"
+        results[label] = series_from_job(job_entry)
 
     print()
     print(format_fig7_table(

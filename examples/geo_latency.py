@@ -7,6 +7,10 @@ latency grows with x, with a visible jump at 1.1f (one extra
 strong-QC round-trip past the 3-chain) and a larger one near 2f
 (waiting for straggler votes to enter a strong-QC).
 
+The sweep over δ runs as a campaign — the scenario matrix engine
+expands δ ∈ {100, 200} ms into jobs and executes them in parallel
+worker processes (the same machinery as ``repro campaign run``).
+
 By default this uses n = 31 for a fast run; pass ``--paper`` for the
 full n = 100 / δ ∈ {100, 200} ms configuration of the paper (a couple
 of minutes of wall time).
@@ -16,53 +20,59 @@ Run:  python examples/geo_latency.py [--paper]
 
 import sys
 
-from repro import ExperimentConfig, build_cluster, ratio_grid, strong_latency_series
+from repro import Campaign, ScenarioSpec, run_campaign
 from repro.analysis import format_fig7_table, line_chart
-
-
-def run_once(n: int, delta: float, duration: float) -> list:
-    config = ExperimentConfig(
-        protocol="sft-diembft",
-        n=n,
-        topology="symmetric",
-        delta=delta,
-        jitter=0.004,
-        duration=duration,
-        round_timeout=max(1.0, 10 * delta),
-        seed=11,
-        verify_signatures=False,
-        observers=5 if n >= 50 else "all",
-    )
-    cluster = build_cluster(config).run()
-    return strong_latency_series(
-        cluster, ratios=ratio_grid(), created_before=duration * 0.66
-    )
+from repro.core import ratio_grid
+from repro.experiments import reports_from_series
 
 
 def main() -> None:
     paper_scale = "--paper" in sys.argv
     n = 100 if paper_scale else 31
     duration = 40.0 if paper_scale else 20.0
-    deltas = (0.100, 0.200)
 
-    series_by_delta = {}
-    for delta in deltas:
-        label = f"δ={delta * 1000:.0f}ms"
-        print(f"running symmetric geo-distribution, n={n}, {label}…")
-        series_by_delta[label] = run_once(n, delta, duration)
+    base = ScenarioSpec(
+        name="geo_latency",
+        protocol="sft-diembft",
+        n=n,
+        topology="symmetric",
+        jitter=0.004,
+        duration=duration,
+        round_timeout=2.0,
+        seeds=(11,),
+        verify_signatures=False,
+        observers=5 if n >= 50 else "all",
+        block_batch_count=1000,
+        block_batch_bytes=450_000,
+        ratios=ratio_grid(),
+        cutoff_fraction=0.66,
+    )
+    campaign = Campaign(base, matrix={"delta": [0.100, 0.200]})
+    print(f"running symmetric geo-distribution, n={n}: "
+          f"{campaign.job_count()} jobs over 2 workers…")
+    report = run_campaign(campaign, workers=2)
+
+    table_series = {}
+    chart_series = {}
+    for job in report["jobs"]:
+        label = f"δ={job['params']['delta'] * 1000:.0f}ms"
+        points = job["metrics"]["strong_latency_series"]
+        table_series[label] = reports_from_series(points)
+        chart_series[label] = [
+            (point["ratio"], point["mean_latency_s"]) for point in points
+        ]
 
     print()
     print(format_fig7_table(
-        series_by_delta,
+        table_series,
         title=f"Strong commit latency, symmetric geo-distribution (n={n})",
     ))
-
-    chart_series = {
-        label: [(point.ratio, point.mean_latency) for point in series]
-        for label, series in series_by_delta.items()
-    }
     print()
-    print(line_chart(chart_series, x_label="x-strong (f)", y_label="latency (s)"))
+    print(line_chart(
+        chart_series, x_label="x-strong (f)", y_label="latency (s)"
+    ))
+    print(f"\ncampaign wall-clock: {report['wall_clock_s']:.1f}s "
+          f"({report['workers']} workers)")
 
 
 if __name__ == "__main__":

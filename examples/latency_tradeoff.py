@@ -7,56 +7,58 @@ regular-latency sacrifice collapses the 2f-strong latency onto the
 regular-commit line — the dynamic knob the paper suggests for blocks
 carrying high-value transactions.
 
+The extra-wait sweep runs as a campaign (matrix over ``qc_extra_wait``,
+the Figure 8 axis) with parallel workers — the same machinery as
+``repro campaign run scenarios/fig8_tradeoff.toml``.
+
 Run:  python examples/latency_tradeoff.py
 """
 
-from repro import (
-    ExperimentConfig,
-    build_cluster,
-    level_for_ratio,
-    regular_commit_latency,
-    strong_commit_latency,
-)
+from repro import Campaign, ScenarioSpec, run_campaign
 
 
 def main() -> None:
     n, duration = 31, 16.0
-    f = (n - 1) // 3
     waits = (0.0, 0.01, 0.02, 0.05)
+    base = ScenarioSpec(
+        name="latency_tradeoff",
+        protocol="sft-diembft",
+        n=n,
+        topology="symmetric",
+        delta=0.050,
+        jitter=0.004,
+        duration=duration,
+        round_timeout=1.0,
+        seeds=(21,),
+        verify_signatures=False,
+        block_batch_count=1000,
+        block_batch_bytes=450_000,
+        ratios=(1.5, 2.0),
+        cutoff_fraction=0.6,
+    )
+    campaign = Campaign(base, matrix={"qc_extra_wait": list(waits)})
     print(f"SFT-DiemBFT, n={n}, symmetric 3 regions δ=50ms — "
-          f"extra-wait sweep\n")
-    print(f"{'extra wait':>11}{'QC size':>9}{'regular(s)':>12}"
+          f"extra-wait sweep ({campaign.job_count()} jobs, 2 workers)\n")
+    report = run_campaign(campaign, workers=2)
+
+    print(f"{'extra wait':>11}{'regular(s)':>12}"
           f"{'1.5f-strong(s)':>15}{'2f-strong(s)':>14}")
-    for wait in waits:
-        config = ExperimentConfig(
-            protocol="sft-diembft",
-            n=n,
-            topology="symmetric",
-            delta=0.050,
-            jitter=0.004,
-            duration=duration,
-            round_timeout=1.0,
-            qc_extra_wait=wait,
-            seed=21,
-            verify_signatures=False,
-        )
-        cluster = build_cluster(config).run()
-        cutoff = duration * 0.6
-        regular, _ = regular_commit_latency(cluster, created_before=cutoff)
-        mid, _, _ = strong_commit_latency(
-            cluster, level_for_ratio(1.5, f), created_before=cutoff
-        )
-        top, _, _ = strong_commit_latency(
-            cluster, 2 * f, created_before=cutoff
-        )
-        qc_size = len(cluster.replicas[0].qc_high.votes)
-        print(f"{wait * 1000:>9.0f}ms{qc_size:>9}{regular:>12.3f}"
-              f"{mid:>15.3f}{top:>14.3f}")
+    for job in report["jobs"]:
+        wait = job["params"]["qc_extra_wait"]
+        metrics = job["metrics"]
+        by_ratio = {
+            point["ratio"]: point["mean_latency_s"]
+            for point in metrics["strong_latency_series"]
+        }
+        print(f"{wait * 1000:>9.0f}ms{metrics['regular_latency_s']:>12.3f}"
+              f"{by_ratio[1.5]:>15.3f}{by_ratio[2.0]:>14.3f}")
 
     print(
         "\nWith enough extra wait the strong-QCs contain every replica,"
         "\nso a regular 3-chain commit is simultaneously 2f-strong and"
         "\nthe curves merge (Figure 8's right-hand regime)."
+        f"\n\ncampaign wall-clock: {report['wall_clock_s']:.1f}s"
+        f" ({report['workers']} workers)"
     )
 
 

@@ -6,12 +6,14 @@ minority region whose strong-votes rarely (or never) reach strong-QCs
 caps the whole system's achievable strong-commit level.  The Section 5
 health monitor detects exactly those replicas from the chain alone.
 
+The cluster comes from the declarative scenario path — the same spec
+ships as ``scenarios/outcast_regions.toml`` for ``repro campaign run``.
+
 Run:  python examples/outcast_detection.py
 """
 
-from repro import ExperimentConfig, build_cluster
+from repro import ScenarioSpec
 from repro.analysis import QCDiversityMonitor
-from repro.net.topology import RegionTopology
 
 
 def main() -> None:
@@ -20,28 +22,23 @@ def main() -> None:
     # the δ=200 ms regime of Figure 7b, scaled down.
     n, f = 13, 4
 
-    class MiniAsymmetric(ExperimentConfig):
-        pass
-
-    config = ExperimentConfig(
+    spec = ScenarioSpec(
+        name="outcast_regions",
         protocol="sft-diembft",
         n=n,
         f=f,
-        topology="uniform",  # replaced below
+        topology="regions",
+        region_sizes=(10, 3),
+        delta=0.100,
         duration=20.0,
         jitter=0.002,
         round_timeout=0.08,
         timeout_multiplier=1.0,
-        seed=17,
+        seeds=(17,),
         block_batch_count=10,
         block_batch_bytes=1_000,
     )
-    cluster = build_cluster(config)
-    cluster.topology = RegionTopology(
-        (10, 3), {(0, 1): 0.100}, intra_delay=0.001
-    )
-    cluster.network.topology = cluster.topology
-    cluster.build().run()
+    cluster = spec.build().run()
 
     replica = cluster.replicas[0]
     commits = replica.commit_tracker.commit_order

@@ -30,6 +30,14 @@ from repro.core import (
     max_strength,
     ratio_grid,
 )
+from repro.experiments import (
+    Campaign,
+    CampaignRunner,
+    FaultMix,
+    ScenarioSpec,
+    load_scenario,
+    run_campaign,
+)
 from repro.lightclient import LightClient, StrongCommitProof, build_proof
 from repro.net import (
     AsymmetricTopology,
@@ -103,6 +111,13 @@ __all__ = [
     "StreamletReplica",
     "StreamletConfig",
     "SFTStreamletReplica",
+    # experiments
+    "ScenarioSpec",
+    "FaultMix",
+    "Campaign",
+    "CampaignRunner",
+    "run_campaign",
+    "load_scenario",
     # runtime
     "ExperimentConfig",
     "build_cluster",

@@ -11,6 +11,7 @@ Crash faults are built into the runtime (``ExperimentConfig.crash_schedule``).
 """
 
 from repro.adversary.behaviors import (
+    BEHAVIOR_FACTORIES,
     make_equivocating_leader,
     make_lazy_voter,
     make_silent,
@@ -19,6 +20,7 @@ from repro.adversary.behaviors import (
 from repro.adversary.scripted import AppendixCScenario
 
 __all__ = [
+    "BEHAVIOR_FACTORIES",
     "make_silent",
     "make_equivocating_leader",
     "make_withholding_leader",

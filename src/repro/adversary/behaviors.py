@@ -152,3 +152,14 @@ def make_lazy_voter(replica_class, delay: float = 0.5):
 
     LazyVoter.__name__ = f"Lazy{replica_class.__name__}"
     return LazyVoter
+
+
+#: Behaviour name → class factory, for declarative fault mixes
+#: (:mod:`repro.experiments`).  Factories taking extra knobs (reach,
+#: delay) are called with those knobs by the spec layer.
+BEHAVIOR_FACTORIES = {
+    "silent": make_silent,
+    "equivocate": make_equivocating_leader,
+    "withhold": make_withholding_leader,
+    "lazy": make_lazy_voter,
+}

@@ -4,6 +4,7 @@ from repro.analysis.ascii_chart import line_chart
 from repro.analysis.chain_stats import ChainStats, collect_chain_stats
 from repro.analysis.health import QCDiversityMonitor, ReplicaHealth
 from repro.analysis.report import (
+    format_campaign_table,
     format_fig7_table,
     format_fig8_table,
     format_series_csv,
@@ -12,6 +13,7 @@ from repro.analysis.report import (
 
 __all__ = [
     "line_chart",
+    "format_campaign_table",
     "format_fig7_table",
     "format_fig8_table",
     "format_series_csv",

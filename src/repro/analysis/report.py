@@ -80,6 +80,36 @@ def format_fig8_table(points_by_level: dict, title: str) -> str:
     return format_simple_table(headers, rows, title=title)
 
 
+def format_campaign_table(report: dict, title: str | None = None) -> str:
+    """One row per campaign job: commits, latency, messages, wall time.
+
+    ``report`` is the JSON-shaped dict produced by
+    :class:`~repro.experiments.runner.CampaignRunner`.
+    """
+    headers = [
+        "job", "commits", "reg.lat(s)", "msgs/commit", "safe", "wall(s)",
+    ]
+    rows = []
+    for entry in report.get("jobs", ()):
+        metrics = entry["metrics"]
+        rows.append([
+            entry["job_id"],
+            metrics["commits"],
+            metrics["regular_latency_s"],
+            metrics["messages"]["per_commit"],
+            "yes" if metrics["safety_ok"] else "NO",
+            entry["wall_clock_s"],
+        ])
+    if title is None:
+        title = (
+            f"campaign {report.get('campaign', '?')} — "
+            f"{report.get('job_count', len(rows))} jobs, "
+            f"workers={report.get('workers', 1)}, "
+            f"wall {report.get('wall_clock_s', 0.0):.1f}s"
+        )
+    return format_simple_table(headers, rows, title=title)
+
+
 def format_series_csv(series, label: str = "series") -> str:
     """CSV dump of a LatencyReport list for offline plotting."""
     lines = [f"# {label}", "ratio,level,mean_latency_s,samples,eligible"]

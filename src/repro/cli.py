@@ -7,6 +7,8 @@ Examples::
     python -m repro figure 7a            # regenerate a paper figure
     python -m repro counterexample       # Appendix C walkthrough
     python -m repro health --n 31        # QC-diversity health report
+    python -m repro campaign run scenarios/smoke.toml --workers 4
+    python -m repro campaign diff report.json baseline.json
 """
 
 from __future__ import annotations
@@ -15,7 +17,12 @@ import argparse
 import sys
 
 from repro.adversary import AppendixCScenario
-from repro.analysis import format_fig7_table, format_series_csv, line_chart
+from repro.analysis import (
+    format_campaign_table,
+    format_fig7_table,
+    format_series_csv,
+    line_chart,
+)
 from repro.analysis.chain_stats import collect_chain_stats
 from repro.analysis.health import QCDiversityMonitor
 from repro.core.resilience import ratio_grid
@@ -180,6 +187,114 @@ def command_health(args) -> int:
     return 0
 
 
+def _load_campaign(path):
+    """Load a campaign spec, turning user errors into clean exits."""
+    from repro.experiments import Campaign
+
+    try:
+        return Campaign.from_file(path)
+    except (ValueError, TypeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+
+
+def command_campaign_run(args) -> int:
+    from repro.experiments import CampaignRunner, diff_reports, save_report
+
+    campaign = _load_campaign(args.spec)
+    try:
+        jobs = campaign.expand()
+    except ValueError as error:
+        # Cross-axis combinations can still be invalid (e.g. a fault
+        # mix that no longer fits a matrixed-down n).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"campaign {campaign.name}: {len(jobs)} jobs, "
+        f"workers={args.workers}",
+        file=sys.stderr,
+    )
+
+    def progress(entry):
+        metrics = entry["metrics"]
+        print(
+            f"  {entry['job_id']}: {metrics['commits']} commits "
+            f"in {entry['wall_clock_s']:.1f}s",
+            file=sys.stderr,
+        )
+
+    runner = CampaignRunner(jobs, workers=args.workers, name=campaign.name)
+    report = runner.run(progress=progress)
+    if args.out:
+        save_report(report, args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+    print(format_campaign_table(report))
+
+    exit_code = 0
+    if not report["summary"]["all_safe"]:
+        print("SAFETY VIOLATION in at least one job", file=sys.stderr)
+        exit_code = 1
+    if args.baseline:
+        regressions = diff_reports(
+            report,
+            _load_report_file(args.baseline),
+            latency_tolerance=args.tolerance,
+            message_tolerance=args.tolerance,
+            commit_tolerance=args.tolerance,
+        )
+        exit_code = _report_regressions(regressions) or exit_code
+    return exit_code
+
+
+def _report_regressions(regressions) -> int:
+    if not regressions:
+        print("\nbaseline check: no regressions")
+        return 0
+    print(f"\nbaseline check: {len(regressions)} regression(s)")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 1
+
+
+def _load_report_file(path):
+    """Load a report JSON, turning user errors into clean exits."""
+    import json
+
+    from repro.experiments import load_report
+
+    try:
+        return load_report(path)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+
+
+def command_campaign_report(args) -> int:
+    report = _load_report_file(args.report)
+    print(format_campaign_table(report))
+    summary = report.get("summary", {})
+    if summary:
+        print(
+            f"\ntotal commits: {summary.get('total_commits')}  "
+            f"mean regular latency: {summary.get('mean_regular_latency_s')}s  "
+            f"all safe: {summary.get('all_safe')}"
+        )
+    return 0
+
+
+def command_campaign_diff(args) -> int:
+    from repro.experiments import diff_reports
+
+    regressions = diff_reports(
+        _load_report_file(args.report),
+        _load_report_file(args.baseline),
+        latency_tolerance=args.tolerance,
+        message_tolerance=args.tolerance,
+        commit_tolerance=args.tolerance,
+    )
+    return _report_regressions(regressions)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,6 +325,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_arguments(health_parser)
     health_parser.set_defaults(handler=command_health)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="declarative experiment campaigns (scenarios/)"
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="expand a scenario matrix and run every job"
+    )
+    campaign_run.add_argument("spec", help="scenario TOML/JSON file")
+    campaign_run.add_argument("--workers", type=int, default=1,
+                              help="parallel worker processes")
+    campaign_run.add_argument("--out", default=None,
+                              help="write the JSON campaign report here")
+    campaign_run.add_argument("--baseline", default=None,
+                              help="fail on regression vs this report")
+    campaign_run.add_argument("--tolerance", type=float, default=0.25,
+                              help="relative regression tolerance")
+    campaign_run.set_defaults(handler=command_campaign_run)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="pretty-print a saved campaign report"
+    )
+    campaign_report.add_argument("report", help="campaign report JSON")
+    campaign_report.set_defaults(handler=command_campaign_report)
+
+    campaign_diff = campaign_sub.add_parser(
+        "diff", help="compare a campaign report against a baseline"
+    )
+    campaign_diff.add_argument("report", help="current campaign report JSON")
+    campaign_diff.add_argument("baseline", help="baseline campaign report JSON")
+    campaign_diff.add_argument("--tolerance", type=float, default=0.25,
+                               help="relative regression tolerance")
+    campaign_diff.set_defaults(handler=command_campaign_diff)
 
     return parser
 

@@ -1,0 +1,52 @@
+"""Declarative experiment campaigns: specs, matrices, parallel runs.
+
+The sweep entry point for the whole repo: describe a scenario (or a
+matrix of them) in TOML/JSON, expand it into jobs, run the jobs in
+parallel, and diff the aggregate report against a regression baseline.
+
+    from repro.experiments import Campaign, run_campaign
+
+    campaign = Campaign.from_file("scenarios/smoke.toml")
+    report = run_campaign(campaign, workers=4)
+"""
+
+from repro.experiments.baseline import (
+    Regression,
+    diff_reports,
+    load_report,
+    save_report,
+)
+from repro.experiments.campaign import Campaign, Job
+from repro.experiments.runner import (
+    CampaignRunner,
+    collect_job_metrics,
+    reports_from_series,
+    run_campaign,
+    run_job,
+)
+from repro.experiments.spec import (
+    FaultMix,
+    PartitionWindow,
+    ScenarioSpec,
+    load_scenario,
+    spec_from_mapping,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "FaultMix",
+    "PartitionWindow",
+    "load_scenario",
+    "spec_from_mapping",
+    "Campaign",
+    "Job",
+    "CampaignRunner",
+    "run_campaign",
+    "run_job",
+    "collect_job_metrics",
+    "reports_from_series",
+    "Regression",
+    "diff_reports",
+    "save_report",
+    "load_report",
+]

@@ -1,0 +1,111 @@
+"""Campaign expansion: a scenario matrix → concrete runnable jobs.
+
+A campaign is a base :class:`~repro.experiments.spec.ScenarioSpec`
+plus a ``matrix`` of axis → value-list entries.  :meth:`Campaign.expand`
+materializes the full cross-product (axes × seeds) into
+:class:`Job` objects, each naming one deterministic simulation.
+
+Matrix axes address any scalar spec field (``n``, ``protocol``,
+``delta``, ``qc_extra_wait``, …) or a fault-mix field via a dotted
+``faults.*`` key (``faults.crash``, ``faults.equivocate``, …).  Seeds
+are not a matrix axis — use the spec's ``seeds`` list, which is always
+expanded last.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.experiments.spec import (
+    ScenarioSpec,
+    load_scenario_mapping,
+    spec_from_mapping,
+)
+
+
+@dataclass(slots=True)
+class Job:
+    """One fully-resolved simulation: a spec with scalar values + a seed."""
+
+    job_id: str
+    spec: ScenarioSpec
+    seed: int
+    params: dict = field(default_factory=dict)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+class Campaign:
+    """A named experiment matrix over one base scenario."""
+
+    def __init__(
+        self,
+        base: ScenarioSpec,
+        matrix: dict | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.base = base
+        self.matrix = dict(matrix or {})
+        self.name = name or base.name
+        for axis, values in self.matrix.items():
+            if axis in ("seeds", "seed"):
+                raise ValueError("seeds are expanded implicitly; not a matrix axis")
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"matrix axis {axis!r} needs a non-empty list")
+            # Fail at load time, not mid-campaign, on a bad axis name or
+            # a value invalid against the base spec.
+            for value in values:
+                try:
+                    base.with_overrides(**{axis: value})
+                except TypeError as error:
+                    raise ValueError(f"unknown matrix axis {axis!r}") from error
+                except ValueError as error:
+                    raise ValueError(
+                        f"matrix axis {axis!r} value {value!r}: {error}"
+                    ) from error
+
+    @classmethod
+    def from_file(cls, path) -> "Campaign":
+        """Load a campaign (or single scenario) from TOML/JSON.
+
+        A file without a ``[matrix]`` table is a one-scenario campaign
+        whose only expansion axis is the seed list.
+        """
+        from pathlib import Path
+
+        path = Path(path)
+        data = load_scenario_mapping(path)
+        matrix = data.get("matrix", {})
+        base = spec_from_mapping(data, name=path.stem)
+        return cls(base, matrix=matrix, name=base.name)
+
+    def job_count(self) -> int:
+        count = len(self.base.seeds)
+        for values in self.matrix.values():
+            count *= len(values)
+        return count
+
+    def expand(self) -> list:
+        """The cross-product of matrix axes × seeds, in stable order."""
+        axes = list(self.matrix)
+        value_lists = [self.matrix[axis] for axis in axes]
+        jobs = []
+        for combo in itertools.product(*value_lists):
+            params = dict(zip(axes, combo))
+            spec = self.base.with_overrides(**params) if params else self.base
+            for seed in spec.seeds:
+                parts = [
+                    f"{axis}={_format_value(value)}"
+                    for axis, value in params.items()
+                ]
+                parts.append(f"seed={seed}")
+                job_id = f"{self.name}/" + ",".join(parts)
+                jobs.append(
+                    Job(job_id=job_id, spec=spec, seed=seed, params=params)
+                )
+        return jobs

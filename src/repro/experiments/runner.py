@@ -1,0 +1,244 @@
+"""Parallel campaign execution and metric aggregation.
+
+Each :class:`~repro.experiments.campaign.Job` is an independent,
+fully-deterministic simulation, so a campaign is embarrassingly
+parallel: :class:`CampaignRunner` fans jobs out over a
+``multiprocessing`` pool and reassembles the results in job order,
+making the report independent of worker count and completion order.
+
+Per-job metrics are split into a ``metrics`` section — deterministic
+for a fixed spec + seed, byte-identical across runs and worker counts —
+and a ``wall_clock_s`` timing that naturally varies.  Regression
+baselines (:mod:`repro.experiments.baseline`) compare only the
+deterministic section.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.analysis.chain_stats import collect_chain_stats
+from repro.analysis.health import QCDiversityMonitor
+from repro.experiments.campaign import Campaign
+from repro.runtime.metrics import (
+    LatencyReport,
+    check_commit_safety,
+    messages_per_committed_block,
+    regular_commit_latency,
+    strong_commit_safety_violations,
+    strong_latency_series,
+    throughput_txps,
+)
+
+
+def _round(value, digits: int = 6):
+    return None if value is None else round(value, digits)
+
+
+def _series_metrics(cluster, spec) -> list:
+    """Figure-7-style series as plain dicts (JSON- and diff-friendly)."""
+    cutoff = spec.duration * spec.cutoff_fraction
+    if spec.series_observers is not None:
+        saved = cluster.config.observers
+        cluster.config.observers = tuple(spec.series_observers)
+        try:
+            series = strong_latency_series(
+                cluster, spec.ratios, created_before=cutoff
+            )
+        finally:
+            cluster.config.observers = saved
+    else:
+        series = strong_latency_series(cluster, spec.ratios, created_before=cutoff)
+    return [
+        {
+            "ratio": point.ratio,
+            "level": point.level,
+            "mean_latency_s": _round(point.mean_latency),
+            "samples": point.samples,
+            "eligible": point.eligible,
+        }
+        for point in series
+    ]
+
+
+def reports_from_series(series: list) -> list:
+    """Rebuild LatencyReport points from ``strong_latency_series`` metrics.
+
+    The inverse of :func:`_series_metrics`, for feeding campaign job
+    results back into the Figure-7-style table/chart formatters.
+    """
+    return [
+        LatencyReport(
+            ratio=point["ratio"],
+            level=point["level"],
+            mean_latency=point["mean_latency_s"],
+            samples=point["samples"],
+            eligible=point["eligible"],
+        )
+        for point in series
+    ]
+
+
+def collect_job_metrics(cluster, spec) -> dict:
+    """Aggregate chain/health/message statistics from a finished run."""
+    cutoff = spec.duration * spec.cutoff_fraction
+    correct = cluster.correct_replicas()
+    observers = [
+        replica for replica in cluster.observer_replicas()
+        if not replica.crashed and replica.replica_id not in cluster.byzantine_ids
+    ]
+    safety_ok = True
+    safety_error = None
+    try:
+        check_commit_safety(observers)
+    except AssertionError as error:
+        safety_ok = False
+        safety_error = str(error)
+
+    byzantine_count = len(cluster.byzantine_ids)
+    strong_violations = 0
+    if byzantine_count:
+        strong_violations = len(
+            strong_commit_safety_violations(observers, byzantine_count)
+        )
+
+    reference = observers[0] if observers else correct[0]
+    regular_mean, regular_count = regular_commit_latency(
+        cluster, created_before=cutoff
+    )
+    stats = collect_chain_stats(reference)
+
+    monitor = QCDiversityMonitor(cluster.config.n)
+    monitor.observe_chain(
+        reference.store, reference.commit_tracker.commit_order
+    )
+    outcasts = [
+        health.replica_id for health in monitor.report() if health.is_outcast()
+    ]
+
+    message_stats = cluster.message_stats()
+    per_commit = messages_per_committed_block(cluster)
+
+    metrics = {
+        "commits": len(reference.commit_tracker.commit_order),
+        "rounds": reference.current_round,
+        "throughput_txps": _round(throughput_txps(cluster), 3),
+        "regular_latency_s": _round(regular_mean),
+        "regular_latency_samples": regular_count,
+        "strong_latency_series": _series_metrics(cluster, spec),
+        "chain": {
+            "blocks_total": stats.blocks_total,
+            "blocks_committed": stats.blocks_committed,
+            "max_round": stats.max_round,
+            "skipped_rounds": stats.skipped_rounds,
+            "fork_blocks": stats.fork_blocks,
+            "max_fork_depth": stats.max_fork_depth,
+            "mean_qc_size": _round(stats.mean_qc_size, 3),
+            "qc_diversity": _round(stats.qc_diversity, 4),
+        },
+        "health": {
+            "chain_qcs": monitor.qc_count(),
+            "max_achievable_strength": monitor.max_achievable_strength(
+                cluster.config.resolved_f()
+            ),
+            "outcasts": outcasts,
+        },
+        "messages": {
+            "sent": message_stats["sent"],
+            "delivered": message_stats["delivered"],
+            "bytes": message_stats["bytes"],
+            "per_commit": (
+                None if per_commit == float("inf") else _round(per_commit, 3)
+            ),
+        },
+        "safety_ok": safety_ok,
+        "strong_safety_violations": strong_violations,
+    }
+    if safety_error is not None:
+        metrics["safety_error"] = safety_error
+    return metrics
+
+
+def run_job(job) -> dict:
+    """Execute one job and return its report entry (picklable dict)."""
+    start = time.perf_counter()
+    spec = job.spec
+    cluster = spec.build(job.seed).run()
+    metrics = collect_job_metrics(cluster, spec)
+    wall_clock = time.perf_counter() - start
+    return {
+        "job_id": job.job_id,
+        "scenario": spec.name,
+        "params": dict(job.params),
+        "seed": job.seed,
+        "metrics": metrics,
+        "wall_clock_s": round(wall_clock, 3),
+    }
+
+
+def _summarize(results: list) -> dict:
+    latencies = [
+        entry["metrics"]["regular_latency_s"]
+        for entry in results
+        if entry["metrics"]["regular_latency_s"] is not None
+    ]
+    return {
+        "total_commits": sum(entry["metrics"]["commits"] for entry in results),
+        "mean_regular_latency_s": (
+            round(sum(latencies) / len(latencies), 6) if latencies else None
+        ),
+        "all_safe": all(entry["metrics"]["safety_ok"] for entry in results),
+        "jobs_with_outcasts": sum(
+            1 for entry in results if entry["metrics"]["health"]["outcasts"]
+        ),
+    }
+
+
+class CampaignRunner:
+    """Executes a job list, serially or over a process pool."""
+
+    def __init__(self, jobs: list, workers: int = 1, name: str = "campaign"):
+        self.jobs = list(jobs)
+        self.workers = max(1, workers)
+        self.name = name
+
+    def run(self, progress=None) -> dict:
+        """Run every job; returns the aggregate campaign report.
+
+        ``progress`` is an optional callable invoked with each finished
+        job entry (serial mode reports as it goes; parallel mode as
+        ordered results arrive).
+        """
+        start = time.perf_counter()
+        if self.workers == 1 or len(self.jobs) <= 1:
+            results = []
+            for job in self.jobs:
+                entry = run_job(job)
+                if progress is not None:
+                    progress(entry)
+                results.append(entry)
+        else:
+            with multiprocessing.Pool(processes=self.workers) as pool:
+                results = []
+                for entry in pool.imap(run_job, self.jobs, chunksize=1):
+                    if progress is not None:
+                        progress(entry)
+                    results.append(entry)
+        wall_clock = time.perf_counter() - start
+        return {
+            "campaign": self.name,
+            "workers": self.workers,
+            "job_count": len(results),
+            "wall_clock_s": round(wall_clock, 3),
+            "jobs": results,
+            "summary": _summarize(results),
+        }
+
+
+def run_campaign(campaign: Campaign, workers: int = 1, progress=None) -> dict:
+    """Expand and execute a :class:`Campaign` in one call."""
+    runner = CampaignRunner(
+        campaign.expand(), workers=workers, name=campaign.name
+    )
+    return runner.run(progress=progress)

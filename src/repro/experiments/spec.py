@@ -1,0 +1,309 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the portable description of one experiment:
+protocol, cluster size, fault mix, topology preset, latency model, and
+seed list.  Specs are plain data — loadable from TOML or JSON, hashable
+into job ids, and picklable across process boundaries — and they
+resolve into runnable clusters through the single
+:func:`~repro.runtime.config.build_cluster` factory path.
+
+The fault mix assigns behaviours to concrete replica ids
+deterministically (from the highest id downwards, Byzantine behaviours
+first, then crashes), so the same spec always produces the same
+cluster.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from pathlib import Path
+
+from repro.adversary.behaviors import BEHAVIOR_FACTORIES
+from repro.runtime.config import PROTOCOLS, ExperimentConfig, build_cluster
+
+
+@dataclass(slots=True)
+class FaultMix:
+    """How many replicas misbehave, and how.
+
+    ``crash`` replicas halt at ``crash_at``; ``silent`` replicas never
+    vote; ``equivocate`` leaders propose conflicting blocks;
+    ``withhold`` leaders propose to only a ``withhold_reach`` share of
+    the network; ``lazy`` voters delay votes by ``lazy_delay`` seconds.
+    """
+
+    crash: int = 0
+    crash_at: float = 0.0
+    silent: int = 0
+    equivocate: int = 0
+    withhold: int = 0
+    withhold_reach: float = 0.5
+    lazy: int = 0
+    lazy_delay: float = 0.5
+
+    def total(self) -> int:
+        return self.crash + self.silent + self.equivocate + self.withhold + self.lazy
+
+    def assignments(self, n: int) -> dict[str, tuple[int, ...]]:
+        """Deterministic behaviour → replica-id mapping (top ids first)."""
+        if self.total() > n:
+            raise ValueError(
+                f"fault mix assigns {self.total()} replicas but n={n}"
+            )
+        next_id = n - 1
+        assigned: dict[str, tuple[int, ...]] = {}
+        for name, count in (
+            ("silent", self.silent),
+            ("equivocate", self.equivocate),
+            ("withhold", self.withhold),
+            ("lazy", self.lazy),
+            ("crash", self.crash),
+        ):
+            ids = tuple(range(next_id, next_id - count, -1))
+            next_id -= count
+            assigned[name] = ids
+        return assigned
+
+    def byzantine_ids(self, n: int) -> tuple[int, ...]:
+        """Ids with a behaviour override (everything except crashes)."""
+        assigned = self.assignments(n)
+        return tuple(
+            replica_id
+            for name in ("silent", "equivocate", "withhold", "lazy")
+            for replica_id in assigned[name]
+        )
+
+    def behavior_kwargs(self, behavior: str) -> dict:
+        """Extra knobs each behaviour factory takes, from this mix."""
+        if behavior == "withhold":
+            return {"reach": self.withhold_reach}
+        if behavior == "lazy":
+            return {"delay": self.lazy_delay}
+        return {}
+
+    def replica_overrides(self, n: int, base_class) -> dict[int, type]:
+        assigned = self.assignments(n)
+        overrides: dict[int, type] = {}
+        for behavior, factory in BEHAVIOR_FACTORIES.items():
+            kwargs = self.behavior_kwargs(behavior)
+            for replica_id in assigned[behavior]:
+                overrides[replica_id] = factory(base_class, **kwargs)
+        return overrides
+
+    def crash_schedule(self, n: int) -> tuple:
+        return tuple(
+            (replica_id, self.crash_at)
+            for replica_id in self.assignments(n)["crash"]
+        )
+
+
+@dataclass(slots=True)
+class PartitionWindow:
+    """One temporary partition: ``[start, end)``, healed afterwards.
+
+    Either ``groups`` gives explicit replica-id groups, or ``split``
+    divides ids into the first ``split`` fraction versus the rest.
+    """
+
+    start: float
+    end: float
+    groups: tuple = ()
+    split: float = 0.5
+
+    def resolve(self, n: int) -> tuple:
+        if self.groups:
+            return tuple(tuple(group) for group in self.groups)
+        cut = max(1, min(n - 1, int(n * self.split)))
+        return (tuple(range(cut)), tuple(range(cut, n)))
+
+
+@dataclass(slots=True)
+class ScenarioSpec:
+    """One named, declarative experiment scenario."""
+
+    name: str = "scenario"
+    protocol: str = "sft-diembft"
+    n: int = 7
+    f: int | None = None
+    # Topology preset + latency model.
+    topology: str = "uniform"
+    delta: float = 0.100
+    region_sizes: tuple = ()
+    intra_delay: float = 0.001
+    ab_delay: float = 0.020
+    uniform_delay: float = 0.010
+    jitter: float = 0.002
+    bandwidth_bytes_per_sec: float = 0.0
+    processing_delay: float = 0.0
+    gst: float = 0.0
+    pre_gst_delay: float = 0.0
+    # Protocol knobs.
+    round_timeout: float = 0.5
+    timeout_multiplier: float = 1.5
+    max_timeout: float = 8.0
+    qc_extra_wait: float = 0.0
+    generalized_intervals: bool = False
+    interval_window: int | None = None
+    verify_signatures: bool = True
+    drop_stale_messages: bool = True
+    block_batch_count: int = 10
+    block_batch_bytes: int = 1_000
+    streamlet_round_duration: float | None = None
+    # Run control.
+    duration: float = 10.0
+    seeds: tuple = (1,)
+    observers: object = "all"
+    # Fault injection.
+    faults: FaultMix = field(default_factory=FaultMix)
+    partitions: tuple = ()
+    # Analysis knobs.
+    ratios: tuple = (1.0, 1.5, 2.0)
+    cutoff_fraction: float = 0.66
+    series_observers: tuple | None = None
+
+    def __post_init__(self):
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; expected one of {PROTOCOLS}"
+            )
+        self.seeds = tuple(self.seeds)
+        self.ratios = tuple(self.ratios)
+        self.region_sizes = tuple(self.region_sizes)
+        self.faults.assignments(self.n)  # validate counts against n
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        """A copy with the given fields replaced (matrix helper).
+
+        Dotted ``faults.*`` keys override fields of the fault mix.
+        """
+        fault_overrides = {}
+        for key in list(kwargs):
+            if key.startswith("faults."):
+                fault_overrides[key.split(".", 1)[1]] = kwargs.pop(key)
+        if fault_overrides:
+            kwargs["faults"] = replace(self.faults, **fault_overrides)
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # resolution into runnable pieces
+    # ------------------------------------------------------------------
+
+    def to_experiment_config(self, seed: int | None = None) -> ExperimentConfig:
+        return ExperimentConfig(
+            protocol=self.protocol,
+            n=self.n,
+            f=self.f,
+            topology=self.topology,
+            delta=self.delta,
+            region_sizes=self.region_sizes,
+            intra_delay=self.intra_delay,
+            ab_delay=self.ab_delay,
+            uniform_delay=self.uniform_delay,
+            jitter=self.jitter,
+            bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
+            processing_delay=self.processing_delay,
+            gst=self.gst,
+            pre_gst_delay=self.pre_gst_delay,
+            round_timeout=self.round_timeout,
+            timeout_multiplier=self.timeout_multiplier,
+            max_timeout=self.max_timeout,
+            qc_extra_wait=self.qc_extra_wait,
+            generalized_intervals=self.generalized_intervals,
+            interval_window=self.interval_window,
+            verify_signatures=self.verify_signatures,
+            drop_stale_messages=self.drop_stale_messages,
+            block_batch_count=self.block_batch_count,
+            block_batch_bytes=self.block_batch_bytes,
+            streamlet_round_duration=self.streamlet_round_duration,
+            duration=self.duration,
+            seed=self.seeds[0] if seed is None else seed,
+            observers=self.observers,
+            crash_schedule=self.faults.crash_schedule(self.n),
+            partition_schedule=tuple(
+                (window.resolve(self.n), window.start, window.end)
+                for window in self.partitions
+            ),
+        )
+
+    def replica_overrides(self) -> dict[int, type]:
+        from repro.runtime.cluster import _PROTOCOL_CLASSES
+
+        base_class = _PROTOCOL_CLASSES[self.protocol]
+        return self.faults.replica_overrides(self.n, base_class)
+
+    def build(self, seed: int | None = None):
+        """A ready-to-run cluster for one seed (the factory path)."""
+        return build_cluster(
+            self.to_experiment_config(seed), self.replica_overrides()
+        )
+
+
+# ----------------------------------------------------------------------
+# loading from TOML / JSON
+# ----------------------------------------------------------------------
+
+_SPEC_FIELDS = {spec_field.name for spec_field in dataclass_fields(ScenarioSpec)}
+_FAULT_FIELDS = {fault_field.name for fault_field in dataclass_fields(FaultMix)}
+_PARTITION_FIELDS = {
+    partition_field.name for partition_field in dataclass_fields(PartitionWindow)
+}
+
+
+def spec_from_mapping(data: dict, name: str | None = None) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from a parsed TOML/JSON mapping.
+
+    Unknown keys raise — typos in scenario files should fail loudly,
+    not silently run the default. The ``matrix`` key is reserved for
+    :class:`~repro.experiments.campaign.Campaign` and ignored here.
+    """
+    payload = dict(data)
+    payload.pop("matrix", None)
+    unknown = set(payload) - _SPEC_FIELDS
+    if unknown:
+        raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
+
+    if "faults" in payload:
+        fault_data = dict(payload["faults"])
+        bad = set(fault_data) - _FAULT_FIELDS
+        if bad:
+            raise ValueError(f"unknown fault keys: {sorted(bad)}")
+        payload["faults"] = FaultMix(**fault_data)
+    if "partitions" in payload:
+        windows = []
+        for window_data in payload["partitions"]:
+            window_data = dict(window_data)
+            bad = set(window_data) - _PARTITION_FIELDS
+            if bad:
+                raise ValueError(f"unknown partition keys: {sorted(bad)}")
+            if "groups" in window_data:
+                window_data["groups"] = tuple(
+                    tuple(group) for group in window_data["groups"]
+                )
+            windows.append(PartitionWindow(**window_data))
+        payload["partitions"] = tuple(windows)
+    for tuple_key in ("seeds", "ratios", "region_sizes", "series_observers"):
+        if tuple_key in payload and payload[tuple_key] is not None:
+            payload[tuple_key] = tuple(payload[tuple_key])
+    if name is not None and "name" not in payload:
+        payload["name"] = name
+    return ScenarioSpec(**payload)
+
+
+def load_scenario_mapping(path) -> dict:
+    """Parse a ``.toml`` or ``.json`` scenario file into a mapping."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".toml":
+        import tomllib
+
+        return tomllib.loads(text)
+    if path.suffix == ".json":
+        return json.loads(text)
+    raise ValueError(f"unsupported scenario format: {path.suffix!r} ({path})")
+
+
+def load_scenario(path) -> ScenarioSpec:
+    """Load a single :class:`ScenarioSpec` from a TOML or JSON file."""
+    path = Path(path)
+    return spec_from_mapping(load_scenario_mapping(path), name=path.stem)

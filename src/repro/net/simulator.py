@@ -7,6 +7,11 @@ schedule order, making every run fully deterministic for a fixed seed.
 Simulated time is a float in seconds.  The simulator knows nothing
 about replicas or messages — the network layer and the cluster runtime
 schedule closures on it.
+
+Cancelled timers do not linger: the heap is compacted whenever
+cancelled entries outnumber live ones, so pacemaker-heavy runs that
+cancel a timer per round keep memory proportional to the *live* event
+count, and :meth:`Simulator.pending` reports live events only.
 """
 
 from __future__ import annotations
@@ -17,14 +22,20 @@ import heapq
 class TimerHandle:
     """Cancellation token for a scheduled event."""
 
-    __slots__ = ("cancelled", "fire_at")
+    __slots__ = ("cancelled", "fire_at", "_simulator", "_queued")
 
-    def __init__(self, fire_at: float) -> None:
+    def __init__(self, fire_at: float, simulator: "Simulator | None" = None) -> None:
         self.cancelled = False
         self.fire_at = fire_at
+        self._simulator = simulator
+        self._queued = simulator is not None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queued and self._simulator is not None:
+            self._simulator._note_cancellation()
 
 
 class Simulator:
@@ -33,6 +44,7 @@ class Simulator:
     def __init__(self) -> None:
         self._queue: list = []
         self._seq = 0
+        self._cancelled = 0
         self.now = 0.0
         self.events_processed = 0
 
@@ -40,7 +52,7 @@ class Simulator:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        handle = TimerHandle(time)
+        handle = TimerHandle(time, self)
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
         return handle
@@ -52,13 +64,41 @@ class Simulator:
         return self.schedule_at(self.now + delay, callback, *args)
 
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return len(self._queue)
+        """Number of live (non-cancelled) queued events."""
+        return len(self._queue) - self._cancelled
+
+    def _note_cancellation(self) -> None:
+        """Called by a handle on first cancel while still queued."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        live = []
+        for entry in self._queue:
+            handle = entry[2]
+            if handle.cancelled:
+                handle._queued = False
+            else:
+                live.append(entry)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    def _pop(self):
+        """Pop the head entry, maintaining the cancelled count."""
+        entry = heapq.heappop(self._queue)
+        handle = entry[2]
+        handle._queued = False
+        if handle.cancelled:
+            self._cancelled -= 1
+        return entry
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
         while self._queue:
-            time, _seq, handle, callback, args = heapq.heappop(self._queue)
+            time, _seq, handle, callback, args = self._pop()
             if handle.cancelled:
                 continue
             self.now = time
@@ -77,7 +117,7 @@ class Simulator:
             if time > deadline:
                 break
             if handle.cancelled:
-                heapq.heappop(self._queue)
+                self._pop()
                 continue
             self.step()
         if self.now < deadline:

@@ -24,15 +24,28 @@ class Cluster:
     ``replica_overrides`` maps replica ids to alternative replica
     classes (adversarial behaviours from :mod:`repro.adversary`);
     they receive the same ``(config, context)`` constructor arguments.
+    Overrides may be supplied at construction time (the
+    :func:`~repro.runtime.config.build_cluster` factory path) or to
+    :meth:`build` directly; the ``build`` argument wins.
     """
 
-    def __init__(self, config, simulator, topology, network, registry):
+    def __init__(
+        self,
+        config,
+        simulator,
+        topology,
+        network,
+        registry,
+        replica_overrides: dict | None = None,
+    ):
         self.config = config
         self.simulator = simulator
         self.topology = topology
         self.network = network
         self.registry = registry
         self.replicas: list = []
+        self.replica_overrides = dict(replica_overrides or {})
+        self.byzantine_ids: frozenset = frozenset()
         self._built = False
 
     # ------------------------------------------------------------------
@@ -43,7 +56,12 @@ class Cluster:
         """Instantiate and register every replica (idempotent)."""
         if self._built:
             return self
-        overrides = replica_overrides or {}
+        overrides = (
+            self.replica_overrides
+            if replica_overrides is None
+            else dict(replica_overrides)
+        )
+        self.byzantine_ids = frozenset(overrides)
         default_class = _PROTOCOL_CLASSES[self.config.protocol]
         for replica_id in range(self.config.n):
             context = ReplicaContext(
@@ -53,6 +71,8 @@ class Cluster:
             replica = replica_class(self.config.replica_config(replica_id), context)
             self.replicas.append(replica)
             self.network.register(replica_id, replica)
+        for groups, start, end in getattr(self.config, "partition_schedule", ()):
+            self.network.add_partition(groups, start, end)
         self._built = True
         return self
 
@@ -89,6 +109,14 @@ class Cluster:
 
     def honest_replicas(self) -> list:
         return [replica for replica in self.replicas if not replica.crashed]
+
+    def correct_replicas(self) -> list:
+        """Replicas that are neither crashed nor behaviour-overridden."""
+        return [
+            replica
+            for replica in self.replicas
+            if not replica.crashed and replica.replica_id not in self.byzantine_ids
+        ]
 
     def replica(self, replica_id: int):
         return self.replicas[replica_id]

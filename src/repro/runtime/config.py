@@ -11,12 +11,13 @@ The defaults mirror the paper's evaluation: ``n = 100`` (``f = 33``),
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.net.network import Network, NetworkConfig
 from repro.net.simulator import Simulator
 from repro.net.topology import (
     AsymmetricTopology,
+    RegionTopology,
     SymmetricTopology,
     Topology,
     UniformTopology,
@@ -31,11 +32,17 @@ PROTOCOLS = ("diembft", "sft-diembft", "fbft", "streamlet", "sft-streamlet")
 class ExperimentConfig:
     """One simulated experiment.
 
-    ``topology`` is ``"uniform"``, ``"symmetric"`` or ``"asymmetric"``
-    (Figure 6); ``delta`` is the inter-region delay δ.  ``observers``
-    selects which replicas pay for endorsement/strength bookkeeping:
-    ``"all"``, an integer stride (every k-th replica), or an explicit
-    iterable of ids.
+    ``topology`` is ``"uniform"``, ``"symmetric"``, ``"asymmetric"``
+    (Figure 6), or ``"regions"`` (custom ``region_sizes`` with a flat
+    cross-region delay of ``delta``); ``delta`` is the inter-region
+    delay δ.  ``observers`` selects which replicas pay for
+    endorsement/strength bookkeeping: ``"all"``, an integer stride
+    (every k-th replica), or an explicit iterable of ids.
+
+    ``partition_schedule`` holds ``(groups, start, end)`` entries —
+    each partitions the replica set into ``groups`` during the
+    ``[start, end)`` window and heals afterwards (late delivery, see
+    :meth:`repro.net.network.Network.add_partition`).
     """
 
     protocol: str = "sft-diembft"
@@ -44,6 +51,7 @@ class ExperimentConfig:
     # Topology (Figure 6).
     topology: str = "symmetric"
     delta: float = 0.100
+    region_sizes: tuple = ()
     intra_delay: float = 0.001
     ab_delay: float = 0.020
     uniform_delay: float = 0.010
@@ -70,6 +78,7 @@ class ExperimentConfig:
     seed: int = 1
     observers: object = "all"
     crash_schedule: tuple = ()  # (replica_id, time) pairs
+    partition_schedule: tuple = ()  # (groups, start, end) entries
 
     def resolved_f(self) -> int:
         return self.f if self.f is not None else (self.n - 1) // 3
@@ -99,6 +108,18 @@ class ExperimentConfig:
                 ab_delay=self.ab_delay,
                 intra_delay=self.intra_delay,
             )
+        if self.topology == "regions":
+            sizes = tuple(self.region_sizes)
+            if sum(sizes) != self.n:
+                raise ValueError(
+                    f"region_sizes {sizes} must sum to n={self.n}"
+                )
+            inter = {
+                (i, j): self.delta
+                for i in range(len(sizes))
+                for j in range(i + 1, len(sizes))
+            }
+            return RegionTopology(sizes, inter, intra_delay=self.intra_delay)
         raise ValueError(f"unknown topology {self.topology!r}")
 
     def network_config(self) -> NetworkConfig:
@@ -154,8 +175,14 @@ class ExperimentConfig:
         return max(candidates)
 
 
-def build_cluster(config: ExperimentConfig):
-    """Construct a :class:`~repro.runtime.cluster.Cluster` from ``config``."""
+def build_cluster(config: ExperimentConfig, replica_overrides: dict | None = None):
+    """Construct a :class:`~repro.runtime.cluster.Cluster` from ``config``.
+
+    This is the single factory path: every runnable cluster — honest,
+    Byzantine (via ``replica_overrides``), partitioned (via
+    ``config.partition_schedule``) — comes through here, whether the
+    caller is a test, an example, the CLI, or the campaign engine.
+    """
     from repro.crypto.registry import KeyRegistry
     from repro.runtime.cluster import Cluster
 
@@ -173,4 +200,5 @@ def build_cluster(config: ExperimentConfig):
         topology=topology,
         network=network,
         registry=registry,
+        replica_overrides=replica_overrides,
     )

@@ -8,7 +8,7 @@ whole).  The Streamlet echo mechanism re-wraps messages in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.serialization import canonical_bytes
 from repro.crypto.signatures import Signature

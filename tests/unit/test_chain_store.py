@@ -3,7 +3,7 @@
 import pytest
 
 from repro.types.block import Block, make_genesis
-from repro.types.chain import BlockStore, ChainError
+from repro.types.chain import ChainError
 from tests.conftest import ChainBuilder
 
 

@@ -1,0 +1,224 @@
+"""Campaign engine units: specs, fault mixes, expansion, baselines."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    Campaign,
+    FaultMix,
+    PartitionWindow,
+    Regression,
+    ScenarioSpec,
+    diff_reports,
+    load_scenario,
+    spec_from_mapping,
+)
+
+
+class TestScenarioSpec:
+    def test_defaults_resolve_to_config(self):
+        spec = ScenarioSpec(name="x", n=7)
+        config = spec.to_experiment_config()
+        assert config.protocol == "sft-diembft"
+        assert config.n == 7
+        assert config.seed == 1
+        assert config.crash_schedule == ()
+        assert config.partition_schedule == ()
+
+    def test_seed_override(self):
+        spec = ScenarioSpec(name="x", seeds=(3, 4))
+        assert spec.to_experiment_config().seed == 3
+        assert spec.to_experiment_config(9).seed == 9
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            ScenarioSpec(name="x", protocol="pbft")
+
+    def test_with_overrides_dotted_fault_key(self):
+        spec = ScenarioSpec(name="x", n=10)
+        derived = spec.with_overrides(**{"faults.crash": 2, "n": 13})
+        assert derived.faults.crash == 2
+        assert derived.n == 13
+        assert spec.faults.crash == 0  # original untouched
+
+    def test_fault_mix_exceeding_n_rejected(self):
+        with pytest.raises(ValueError, match="fault mix"):
+            ScenarioSpec(name="x", n=4, faults=FaultMix(crash=3, silent=2))
+
+    def test_build_applies_faults_and_partitions(self):
+        spec = ScenarioSpec(
+            name="x",
+            n=7,
+            duration=1.0,
+            faults=FaultMix(silent=1, crash=1),
+            partitions=(PartitionWindow(start=0.2, end=0.4),),
+        )
+        cluster = spec.build().build()
+        # Silent behaviour on the top id, crash scheduled for the next.
+        assert cluster.byzantine_ids == frozenset({6})
+        assert type(cluster.replicas[6]).__name__.startswith("Silent")
+        assert cluster.config.crash_schedule == ((5, 0.0),)
+        assert len(cluster.network._partitions) == 1
+
+
+class TestFaultMix:
+    def test_assignment_is_deterministic_and_disjoint(self):
+        mix = FaultMix(crash=2, silent=1, equivocate=1, lazy=1)
+        assigned = mix.assignments(10)
+        ids = [rid for ids in assigned.values() for rid in ids]
+        assert len(ids) == len(set(ids)) == 5
+        assert assigned == mix.assignments(10)
+        assert assigned["silent"] == (9,)
+        assert assigned["equivocate"] == (8,)
+        assert assigned["lazy"] == (7,)
+        assert assigned["crash"] == (6, 5)
+
+    def test_byzantine_ids_exclude_crashes(self):
+        mix = FaultMix(crash=1, silent=1)
+        assert mix.byzantine_ids(7) == (6,)
+        assert mix.crash_schedule(7) == ((5, 0.0),)
+
+
+class TestPartitionWindow:
+    def test_split_resolution(self):
+        window = PartitionWindow(start=1.0, end=2.0, split=0.5)
+        groups = window.resolve(7)
+        assert groups == ((0, 1, 2), (3, 4, 5, 6))
+
+    def test_explicit_groups(self):
+        window = PartitionWindow(start=0.0, end=1.0, groups=((0, 1), (2, 3)))
+        assert window.resolve(4) == ((0, 1), (2, 3))
+
+
+class TestSpecLoading:
+    def test_mapping_round_trip(self):
+        spec = spec_from_mapping(
+            {
+                "protocol": "diembft",
+                "n": 10,
+                "seeds": [1, 2],
+                "faults": {"crash": 1},
+                "partitions": [{"start": 1.0, "end": 2.0}],
+            },
+            name="demo",
+        )
+        assert spec.name == "demo"
+        assert spec.seeds == (1, 2)
+        assert spec.faults.crash == 1
+        assert spec.partitions[0].end == 2.0
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            spec_from_mapping({"protcol": "diembft"})
+        with pytest.raises(ValueError, match="unknown fault keys"):
+            spec_from_mapping({"faults": {"crsh": 1}})
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"n": 4, "protocol": "diembft"}))
+        spec = load_scenario(path)
+        assert spec.name == "s"
+        assert spec.n == 4
+
+
+class TestCampaignExpansion:
+    def test_cross_product_counts(self):
+        base = ScenarioSpec(name="m", n=7, seeds=(1, 2))
+        campaign = Campaign(
+            base,
+            matrix={"protocol": ["diembft", "sft-diembft"], "n": [4, 7, 10]},
+        )
+        jobs = campaign.expand()
+        assert campaign.job_count() == len(jobs) == 2 * 3 * 2
+        assert len({job.job_id for job in jobs}) == len(jobs)
+        assert jobs[0].job_id == "m/protocol=diembft,n=4,seed=1"
+        assert jobs[-1].params == {"protocol": "sft-diembft", "n": 10}
+
+    def test_fault_axis(self):
+        base = ScenarioSpec(name="m", n=10)
+        campaign = Campaign(base, matrix={"faults.crash": [0, 1, 2]})
+        jobs = campaign.expand()
+        assert [job.spec.faults.crash for job in jobs] == [0, 1, 2]
+
+    def test_seed_axis_rejected(self):
+        with pytest.raises(ValueError, match="seeds"):
+            Campaign(ScenarioSpec(name="m"), matrix={"seeds": [[1], [2]]})
+
+    def test_bad_axis_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown matrix axis"):
+            Campaign(ScenarioSpec(name="m"), matrix={"not_a_field": [1]})
+
+    def test_late_invalid_axis_value_fails_at_construction(self):
+        # n=7 is fine, n=3 can't hold the 4-replica fault mix — the
+        # second value must fail at load time, not mid-campaign.
+        base = ScenarioSpec(name="m", n=7, faults=FaultMix(crash=4))
+        with pytest.raises(ValueError, match="value 3"):
+            Campaign(base, matrix={"n": [7, 3]})
+
+    def test_cross_axis_invalid_combo_fails_at_expand(self):
+        base = ScenarioSpec(name="m", n=7)
+        campaign = Campaign(
+            base, matrix={"n": [7, 4], "faults.crash": [0, 5]}
+        )
+        with pytest.raises(ValueError, match="fault mix"):
+            campaign.expand()
+
+    def test_no_matrix_expands_seeds_only(self):
+        campaign = Campaign(ScenarioSpec(name="m", seeds=(7, 8, 9)))
+        assert [job.seed for job in campaign.expand()] == [7, 8, 9]
+
+
+def _report_with(job_id, latency, per_commit=10.0, commits=100, safe=True):
+    return {
+        "jobs": [
+            {
+                "job_id": job_id,
+                "metrics": {
+                    "commits": commits,
+                    "regular_latency_s": latency,
+                    "messages": {"per_commit": per_commit},
+                    "safety_ok": safe,
+                },
+            }
+        ]
+    }
+
+
+class TestBaselineDiff:
+    def test_no_regression_within_tolerance(self):
+        current = _report_with("a/seed=1", 0.11)
+        baseline = _report_with("a/seed=1", 0.10)
+        assert diff_reports(current, baseline) == []
+
+    def test_latency_regression_detected(self):
+        current = _report_with("a/seed=1", 0.20)
+        baseline = _report_with("a/seed=1", 0.10)
+        regressions = diff_reports(current, baseline)
+        assert [r.metric for r in regressions] == ["regular_latency_s"]
+        assert "a/seed=1" in regressions[0].describe()
+
+    def test_message_and_commit_regressions(self):
+        current = _report_with("a/seed=1", 0.10, per_commit=20.0, commits=10)
+        baseline = _report_with("a/seed=1", 0.10, per_commit=10.0, commits=100)
+        metrics = {r.metric for r in diff_reports(current, baseline)}
+        assert metrics == {"messages.per_commit", "commits"}
+
+    def test_missing_job_is_a_regression(self):
+        current = {"jobs": []}
+        baseline = _report_with("a/seed=1", 0.10)
+        regressions = diff_reports(current, baseline)
+        assert regressions == [
+            Regression("a/seed=1", "missing-job", None, None, None)
+        ]
+
+    def test_unsafe_job_is_a_regression(self):
+        current = _report_with("a/seed=1", 0.10, safe=False)
+        baseline = _report_with("a/seed=1", 0.10)
+        assert "safety_ok" in {r.metric for r in diff_reports(current, baseline)}
+
+    def test_tolerance_is_configurable(self):
+        current = _report_with("a/seed=1", 0.14)
+        baseline = _report_with("a/seed=1", 0.10)
+        assert diff_reports(current, baseline, latency_tolerance=0.5) == []
+        assert diff_reports(current, baseline, latency_tolerance=0.1)

@@ -81,6 +81,75 @@ class TestCancellation:
         assert fired == ["x"]
 
 
+class TestCancelledTimerCompaction:
+    def test_pending_reports_live_events_only(self):
+        simulator = Simulator()
+        handles = [
+            simulator.schedule_at(float(i + 1), lambda: None) for i in range(10)
+        ]
+        assert simulator.pending() == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert simulator.pending() == 6
+
+    def test_heap_compacts_when_cancelled_majority(self):
+        simulator = Simulator()
+        handles = [
+            simulator.schedule_at(float(i + 1), lambda: None) for i in range(100)
+        ]
+        for handle in handles[:60]:
+            handle.cancel()
+        # Compaction keeps cancelled entries a minority of the heap.
+        assert simulator.pending() == 40
+        assert len(simulator._queue) <= 2 * simulator.pending() + 1
+        simulator.run_until(200.0)
+        assert simulator.events_processed == 40
+
+    def test_double_cancel_counts_once(self):
+        simulator = Simulator()
+        live = simulator.schedule_at(1.0, lambda: None)
+        handle = simulator.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        del live
+        assert simulator.pending() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        simulator = Simulator()
+        handle = simulator.schedule_at(1.0, lambda: None)
+        simulator.schedule_at(2.0, lambda: None)
+        simulator.run_until(1.5)
+        handle.cancel()  # already fired and popped
+        assert simulator.pending() == 1
+        simulator.run_until(3.0)
+        assert simulator.pending() == 0
+        assert simulator.events_processed == 2
+
+    def test_pacemaker_style_churn_keeps_queue_bounded(self):
+        # One live timer replaced per round, old one cancelled — the
+        # pattern that used to leak one heap entry per round.
+        simulator = Simulator()
+        current = simulator.schedule_at(1.0, lambda: None)
+        for round_number in range(2, 2000):
+            current.cancel()
+            current = simulator.schedule_at(float(round_number), lambda: None)
+        assert simulator.pending() == 1
+        assert len(simulator._queue) <= 3
+
+    def test_ordering_preserved_across_compaction(self):
+        simulator = Simulator()
+        order = []
+        handles = {}
+        for index in range(50):
+            handles[index] = simulator.schedule_at(
+                float(index + 1), order.append, index
+            )
+        for index in range(0, 50, 2):
+            handles[index].cancel()
+        simulator.run_until(100.0)
+        assert order == list(range(1, 50, 2))
+
+
 class TestDraining:
     def test_run_until_idle_counts_events(self):
         simulator = Simulator()

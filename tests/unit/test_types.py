@@ -1,7 +1,5 @@
 """Blocks, votes, QCs, payloads: structure and validation."""
 
-import pytest
-
 from repro.crypto.registry import KeyRegistry
 from repro.types.block import Block, make_genesis
 from repro.types.quorum_cert import QuorumCertificate, TimeoutCertificate
