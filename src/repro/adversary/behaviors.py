@@ -12,7 +12,11 @@ returns a subclass with one specific deviation:
   forcing the rest to time out;
 * :func:`make_lazy_voter` — delays every vote by a fixed amount
   (models the paper's "stragglers ... out-of-sync due to slow
-  network/computation", Section 4.1).
+  network/computation", Section 4.1);
+* :func:`make_marker_liar` — votes like an honest replica but always
+  reports ``marker = 0``, hiding its fork history (the Byzantine lie
+  SFT's analysis budgets for: up to ``f`` liars inside any endorser
+  set, Theorem 2).
 """
 
 from __future__ import annotations
@@ -32,14 +36,24 @@ def make_silent(replica_class):
     return SilentReplica
 
 
+def _is_streamlet_family(replica_class) -> bool:
+    from repro.protocols.streamlet.replica import StreamletReplica
+
+    return issubclass(replica_class, StreamletReplica)
+
+
 def make_equivocating_leader(replica_class):
     """A leader that proposes two conflicting blocks per led round.
 
     The first block goes to replicas with ids below ``n/2``, the second
     to the rest; the leader also processes its first proposal itself.
-    Both blocks extend ``qc_high``, differing in payload tag, so they
-    conflict at the same round — the raw material of Appendix C.
+    Both blocks extend the leader's best parent, differing in payload
+    tag, so they conflict at the same round — the raw material of
+    Appendix C.  Works on both protocol families (DiemBFT leaders
+    extend ``qc_high``; Streamlet leaders their longest certified tip).
     """
+    if _is_streamlet_family(replica_class):
+        return _make_streamlet_equivocator(replica_class)
 
     class EquivocatingLeader(replica_class):
         def _propose(self, round_number, reason):
@@ -87,8 +101,36 @@ def make_equivocating_leader(replica_class):
     return EquivocatingLeader
 
 
+def _make_streamlet_equivocator(replica_class):
+    class EquivocatingLeader(replica_class):
+        def _propose(self, round_number):
+            parent = self._choose_parent()
+            parent_qc = self.store.qc_for(parent.id())
+            if parent_qc is None:
+                return
+            proposals = [
+                self._signed_proposal(
+                    parent,
+                    parent_qc,
+                    round_number,
+                    commit_log=(("equivocation", variant),),
+                )
+                for variant in (0, 1)
+            ]
+            self.blocks_proposed += 1
+            half = self.config.n // 2
+            for dst in range(self.config.n):
+                variant = 0 if dst < half else 1
+                self.context.send(dst, proposals[variant])
+
+    EquivocatingLeader.__name__ = f"Equivocating{replica_class.__name__}"
+    return EquivocatingLeader
+
+
 def make_withholding_leader(replica_class, reach: float = 0.5):
     """A leader that sends its proposal only to the first ``reach`` share."""
+    if _is_streamlet_family(replica_class):
+        return _make_streamlet_withholder(replica_class, reach)
 
     class WithholdingLeader(replica_class):
         def _propose(self, round_number, reason):
@@ -128,38 +170,104 @@ def make_withholding_leader(replica_class, reach: float = 0.5):
     return WithholdingLeader
 
 
+def _make_streamlet_withholder(replica_class, reach: float):
+    class WithholdingLeader(replica_class):
+        def _propose(self, round_number):
+            parent = self._choose_parent()
+            parent_qc = self.store.qc_for(parent.id())
+            if parent_qc is None:
+                return
+            proposal = self._signed_proposal(parent, parent_qc, round_number)
+            self.blocks_proposed += 1
+            cutoff = int(self.config.n * reach)
+            for dst in range(cutoff):
+                self.context.send(dst, proposal)
+            if self.replica_id >= cutoff:
+                self.context.send(self.replica_id, proposal)
+
+    WithholdingLeader.__name__ = f"Withholding{replica_class.__name__}"
+    return WithholdingLeader
+
+
 def make_lazy_voter(replica_class, delay: float = 0.5):
-    """A correct replica whose votes leave ``delay`` seconds late."""
+    """A correct replica whose votes leave ``delay`` seconds late.
+
+    DiemBFT-family replicas send votes point-to-point to the next
+    leader; Streamlet-family replicas multicast them — both exits are
+    intercepted so the behaviour is honest-but-late on either family.
+    """
 
     class LazyVoter(replica_class):
         def _maybe_vote(self, msg):
             original_send = self.context.send
+            original_multicast = self.context.multicast
             deferred = []
 
-            def capture(dst, message):
+            def capture_send(dst, message):
                 if isinstance(message, VoteMsg):
-                    deferred.append((dst, message))
+                    deferred.append((original_send, (dst, message)))
                 else:
                     original_send(dst, message)
 
-            self.context.send = capture
+            def capture_multicast(message, include_self=True):
+                if isinstance(message, VoteMsg):
+                    deferred.append((original_multicast, (message, include_self)))
+                else:
+                    original_multicast(message, include_self=include_self)
+
+            self.context.send = capture_send
+            self.context.multicast = capture_multicast
             try:
                 super()._maybe_vote(msg)
             finally:
                 self.context.send = original_send
-            for dst, message in deferred:
-                self.context.set_timer(delay, original_send, dst, message)
+                self.context.multicast = original_multicast
+            for dispatch, args in deferred:
+                self.context.set_timer(delay, dispatch, *args)
 
     LazyVoter.__name__ = f"Lazy{replica_class.__name__}"
     return LazyVoter
 
 
+def make_marker_liar(replica_class):
+    """A replica whose strong-votes always carry ``marker = 0``.
+
+    On SFT protocols the lie makes every one of its votes endorse the
+    whole ancestor path regardless of its actual fork history; the
+    strong-vote is re-signed so signature verification still passes
+    (a Byzantine replica signs its own lie).  On plain protocols the
+    vote has no marker and the behaviour degenerates to honest.
+    """
+
+    class MarkerLiar(replica_class):
+        def _make_vote(self, block):
+            vote = super()._make_vote(block)
+            if not hasattr(vote, "marker"):
+                return vote
+            if vote.marker == 0 and not vote.intervals:
+                return vote
+            lied = type(vote)(
+                block_id=vote.block_id,
+                block_round=vote.block_round,
+                height=vote.height,
+                voter=vote.voter,
+                marker=0,
+                intervals=(),
+            )
+            return self._sign_vote(lied)
+
+    MarkerLiar.__name__ = f"MarkerLiar{replica_class.__name__}"
+    return MarkerLiar
+
+
 #: Behaviour name → class factory, for declarative fault mixes
-#: (:mod:`repro.experiments`).  Factories taking extra knobs (reach,
-#: delay) are called with those knobs by the spec layer.
+#: (:mod:`repro.experiments`) and the schedule fuzzer
+#: (:mod:`repro.fuzz`).  Factories taking extra knobs (reach, delay)
+#: are called with those knobs by the spec layer.
 BEHAVIOR_FACTORIES = {
     "silent": make_silent,
     "equivocate": make_equivocating_leader,
     "withhold": make_withholding_leader,
     "lazy": make_lazy_voter,
+    "marker_lie": make_marker_liar,
 }

@@ -1,0 +1,448 @@
+"""Global safety/liveness invariant oracle over finished runs.
+
+The fuzzer (:mod:`repro.fuzz`) throws randomized adversarial schedules
+at the protocols; this module is the judge.  Given a finished cluster
+it checks the full trace against the paper's guarantees:
+
+* **Definition 1** — under ``t`` actual Byzantine faults, no two
+  conflicting blocks are both ``x``-strong committed for any
+  ``x >= t`` (Appendix C is exactly a violation of this under naive
+  vote counting);
+* **prefix consistency** — every honest replica's committed sequence
+  is a single chain, and any two honest replicas agree on the block at
+  every height they have both committed (BFT SMR safety, Section 2);
+* **strength monotonicity** — per :class:`~repro.core.resilience.StrengthTimeline`,
+  strength levels are dense, first-reach times never decrease with
+  level, and no block exceeds the ``2f`` cap;
+* **post-GST liveness** — once the network stabilizes (after GST and
+  after every partition heals), commits resume within a bounded number
+  of rounds, provided the fault mix leaves liveness intact.
+
+Violations found under deliberately *naive* endorsement accounting
+(``naive_accounting = True`` — the flawed scheme Appendix C refutes)
+are marked ``expected``: the fuzzer reporting them is the machine
+working, not the protocol failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resilience import max_strength
+from repro.runtime.metrics import strong_commit_safety_violations
+
+#: Names of every invariant this oracle knows how to check.
+INVARIANTS = (
+    "definition-1",
+    "prefix-consistency",
+    "strength-monotonicity",
+    "post-gst-liveness",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantViolation:
+    """One broken invariant, with a human-readable diagnostic.
+
+    ``expected`` marks counterexamples the run was *designed* to
+    produce (naive accounting); they do not count as failures.
+    """
+
+    invariant: str
+    detail: str
+    expected: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "expected": self.expected,
+        }
+
+
+def invariant_report(violations) -> dict:
+    """A picklable, JSON-friendly summary of an oracle pass.
+
+    ``ok`` means no *unexpected* violations; deliberate naive-accounting
+    counterexamples are listed but do not clear the flag.
+    """
+    violations = list(violations)
+    return {
+        "ok": not any(not violation.expected for violation in violations),
+        "violations": [violation.to_dict() for violation in violations],
+    }
+
+
+def honest_observers(cluster) -> list:
+    """Observer replicas that are neither crashed nor behaviour-overridden."""
+    return [
+        replica
+        for replica in cluster.observer_replicas()
+        if not replica.crashed
+        and replica.replica_id not in cluster.byzantine_ids
+    ]
+
+
+# ----------------------------------------------------------------------
+# Definition 1
+# ----------------------------------------------------------------------
+
+
+def check_definition_1(replicas, actual_faults: int, expected: bool = False):
+    """No conflicting ``x``-strong commits for ``x >= t`` (Definition 1)."""
+    violations = []
+    for level, block_a, block_b in strong_commit_safety_violations(
+        replicas, actual_faults
+    ):
+        violations.append(
+            InvariantViolation(
+                invariant="definition-1",
+                detail=(
+                    f"conflicting blocks {block_a.short()} and "
+                    f"{block_b.short()} are both >= {level}-strong committed "
+                    f"under t = {actual_faults} actual faults"
+                ),
+                expected=expected,
+            )
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# prefix consistency
+# ----------------------------------------------------------------------
+
+
+def check_prefix_consistency(replicas):
+    """Committed chains are per-replica chains and cross-replica consistent."""
+    violations = []
+    by_height: dict[int, tuple] = {}
+    for replica in replicas:
+        events = sorted(
+            replica.commit_tracker.commit_order, key=lambda event: event.height
+        )
+        previous = None
+        for event in events:
+            if previous is not None:
+                if event.height != previous.height + 1:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="prefix-consistency",
+                            detail=(
+                                f"replica {replica.replica_id} committed "
+                                f"height {event.height} after height "
+                                f"{previous.height} (gap in the chain)"
+                            ),
+                        )
+                    )
+                block = replica.store.maybe_get(event.block_id)
+                if block is not None and block.parent_id != previous.block_id:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="prefix-consistency",
+                            detail=(
+                                f"replica {replica.replica_id}: committed "
+                                f"block {event.block_id.short()} at height "
+                                f"{event.height} does not extend the "
+                                f"committed block at height {previous.height}"
+                            ),
+                        )
+                    )
+            existing = by_height.get(event.height)
+            if existing is None:
+                by_height[event.height] = (event.block_id, replica.replica_id)
+            elif existing[0] != event.block_id:
+                violations.append(
+                    InvariantViolation(
+                        invariant="prefix-consistency",
+                        detail=(
+                            f"height {event.height}: replica "
+                            f"{replica.replica_id} committed "
+                            f"{event.block_id.short()} but replica "
+                            f"{existing[1]} committed {existing[0].short()}"
+                        ),
+                    )
+                )
+            previous = event
+    return violations
+
+
+# ----------------------------------------------------------------------
+# strength monotonicity
+# ----------------------------------------------------------------------
+
+
+def check_strength_monotonicity(replicas):
+    """Per-timeline sanity: dense levels, monotone times, ``2f`` cap."""
+    violations = []
+    for replica in replicas:
+        tracker = replica.commit_tracker
+        cap = max_strength(tracker.f)
+        for block_id, timeline in tracker.timelines():
+            current = timeline.current
+            if current > cap:
+                violations.append(
+                    InvariantViolation(
+                        invariant="strength-monotonicity",
+                        detail=(
+                            f"replica {replica.replica_id}: block "
+                            f"{block_id.short()} reports strength {current} "
+                            f"beyond the 2f = {cap} cap"
+                        ),
+                    )
+                )
+            levels = sorted(timeline.first_reach)
+            if current >= 0 and levels != list(range(0, current + 1)):
+                violations.append(
+                    InvariantViolation(
+                        invariant="strength-monotonicity",
+                        detail=(
+                            f"replica {replica.replica_id}: block "
+                            f"{block_id.short()} timeline levels {levels} "
+                            f"are not dense up to current={current}"
+                        ),
+                    )
+                )
+            previous_time = None
+            for level in levels:
+                reached = timeline.first_reach[level]
+                if previous_time is not None and reached < previous_time:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="strength-monotonicity",
+                            detail=(
+                                f"replica {replica.replica_id}: block "
+                                f"{block_id.short()} reached level {level} "
+                                f"at {reached:g}, earlier than level "
+                                f"{level - 1} at {previous_time:g}"
+                            ),
+                        )
+                    )
+                previous_time = reached
+    return violations
+
+
+# ----------------------------------------------------------------------
+# post-GST liveness
+# ----------------------------------------------------------------------
+
+
+def recovery_time(spec) -> float:
+    """When the run reaches its final stable configuration: after GST,
+    after every partition heals, and after the last scheduled crash."""
+    recovery = max(spec.gst, 0.0)
+    for window in spec.partitions:
+        recovery = max(recovery, window.end)
+    if spec.faults.crash:
+        recovery = max(recovery, spec.faults.crash_at)
+    return recovery
+
+
+def _per_round_s(spec) -> float:
+    """A round's nominal pacing: Streamlet's fixed slot, or the
+    DiemBFT-family base timeout."""
+    if spec.protocol in ("streamlet", "sft-streamlet"):
+        per_round = spec.streamlet_round_duration
+        if per_round is None:
+            # Mirrors ExperimentConfig's derived round duration; taking
+            # the max over every topology's delay knob can only make
+            # the liveness bound more generous, never too tight.
+            per_round = 2.0 * (
+                max(spec.uniform_delay, spec.delta, spec.intra_delay,
+                    spec.ab_delay)
+                + spec.jitter
+            ) + 0.005
+        return per_round
+    return spec.round_timeout
+
+
+def liveness_bound_s(spec) -> float:
+    """How long after recovery commits must resume (seconds).
+
+    A generous budget: ~12 fault-free rounds plus twice the longest
+    no-progress window (pacemaker timeouts back off during a stall, so
+    the first post-recovery round can take that long to time out).
+    """
+    stall = max(spec.gst, 0.0)
+    for window in spec.partitions:
+        stall = max(stall, window.end - window.start)
+    return 12.0 * _per_round_s(spec) + 2.0 * stall
+
+
+def liveness_applicable(spec) -> bool:
+    """Whether the fault mix leaves the liveness guarantee intact.
+
+    Two preconditions:
+
+    * a reachable quorum — at most ``f`` replicas permanently
+      non-voting (crashed or silent; lazy voters whose delay rivals
+      the round timeout count too);
+    * a *committing leader window* in the round-robin rotation.  A
+      DiemBFT-family commit needs three consecutive rounds with
+      correct proposers **plus** a correct next leader to aggregate the
+      final QC (votes go to the leader of ``r + 1``; a crashed
+      aggregator silently loses them) — four consecutive correct slots.
+      Streamlet certifies by broadcast, so three suffice.  The fuzzer
+      found the degenerate case: ``n = 4`` with one crash has no such
+      window, and the chain grows forever without a single commit.
+    """
+    f = spec.resolved_f()
+    non_voting = spec.faults.non_voting()
+    if spec.faults.lazy and spec.faults.lazy_delay >= _per_round_s(spec) / 2:
+        non_voting += spec.faults.lazy
+    if non_voting > f:
+        return False
+    window = 3 if spec.protocol in ("streamlet", "sft-streamlet") else 4
+    return _longest_correct_leader_run(spec) >= window
+
+
+def _longest_correct_leader_run(spec) -> int:
+    """Longest cyclic run of replica ids whose led rounds still commit.
+
+    Lazy, silent, and marker-lying replicas propose and aggregate
+    honestly (a silent leader's block is certified by the other
+    ``2f + 1`` voters), so their slots stay usable.  Crashed leaders
+    lose the votes they should aggregate, equivocators split their
+    round's votes, and withholders may starve part of the network —
+    those slots cannot anchor a committing 3-chain.
+    """
+    assigned = spec.faults.assignments(spec.n)
+    faulty = {
+        replica_id
+        for name, ids in assigned.items()
+        if name in ("crash", "equivocate", "withhold")
+        for replica_id in ids
+    }
+    if not faulty:
+        return spec.n
+    alive = [replica_id not in faulty for replica_id in range(spec.n)]
+    best = run = 0
+    for flag in alive + alive:  # doubled to account for cyclic wrap
+        run = run + 1 if flag else 0
+        best = max(best, run)
+    return min(best, spec.n)
+
+
+def check_post_gst_liveness(cluster, spec):
+    """Commits resume within :func:`liveness_bound_s` of stabilization.
+
+    This is a *system*-progress check: up to ``f`` honest replicas may
+    individually stay starved (e.g. a withholding leader whose reach
+    covers a quorum permanently outcasts the replicas it skips — a real
+    schedule the fuzzer found; without a block-sync path they can never
+    certify the withheld rounds).  Individual starvation is the health
+    monitor's domain (Section 5 outcast detection); the liveness
+    invariant fires when the cluster as a whole stalls.  Skipped (empty
+    result) when the run is too short to judge or the fault mix breaks
+    liveness outright.
+    """
+    if spec is None or not liveness_applicable(spec):
+        return []
+    recovery = recovery_time(spec)
+    bound = liveness_bound_s(spec)
+    if spec.duration - recovery < bound:
+        return []  # not enough post-recovery budget to judge
+    observers = honest_observers(cluster)
+    if not observers:
+        return []
+    stalled = []
+    for replica in observers:
+        if not any(
+            recovery < event.committed_at <= recovery + bound
+            for event in replica.commit_tracker.commit_order
+        ):
+            stalled.append(replica.replica_id)
+    required = max(1, len(observers) - spec.resolved_f())
+    if len(observers) - len(stalled) >= required:
+        return []
+    return [
+        InvariantViolation(
+            invariant="post-gst-liveness",
+            detail=(
+                f"only {len(observers) - len(stalled)} of {len(observers)} "
+                f"honest replicas committed within {bound:g}s of "
+                f"stabilization at t={recovery:g}s (stalled: {stalled}; "
+                f"need {required})"
+            ),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# the full oracle
+# ----------------------------------------------------------------------
+
+
+def check_cluster_invariants(cluster, spec=None) -> list:
+    """Run every invariant over a finished cluster.
+
+    ``spec`` (a :class:`~repro.experiments.spec.ScenarioSpec`) supplies
+    the fault/schedule context: the actual fault count ``t`` for
+    Definition 1, the naive-accounting flag, and the liveness window.
+    Without it, ``t`` falls back to the cluster's override/crash count
+    and the liveness check is skipped.
+    """
+    replicas = honest_observers(cluster)
+    if spec is not None:
+        actual_faults = spec.faults.byzantine_total()
+        naive = bool(spec.naive_accounting)
+    else:
+        crashed = sum(1 for replica in cluster.replicas if replica.crashed)
+        actual_faults = len(
+            cluster.byzantine_ids
+            | {r.replica_id for r in cluster.replicas if r.crashed}
+        ) if crashed else len(cluster.byzantine_ids)
+        naive = bool(getattr(cluster.config, "naive_accounting", False))
+    violations = []
+    violations.extend(check_definition_1(replicas, actual_faults, expected=naive))
+    violations.extend(check_prefix_consistency(replicas))
+    violations.extend(check_strength_monotonicity(replicas))
+    violations.extend(check_post_gst_liveness(cluster, spec))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# scripted (Appendix C) runs
+# ----------------------------------------------------------------------
+
+
+def check_appendix_c(result, naive: bool) -> list:
+    """Definition 1 over an Appendix C construction (Figure 9).
+
+    ``result`` is a :class:`~repro.adversary.scripted.ScenarioResult`.
+    With ``t = f + 1`` actual faults, the naive scheme double-counts
+    chain-switching honest voters and certifies two conflicting
+    ``(f+1)``-strong commits — flagged here as an *expected*
+    Definition-1 violation.  SFT's markers must keep the same
+    construction safe.
+    """
+    t = result.f + 1
+    if naive:
+        if not result.naive_violates_definition_1():
+            return []
+        return [
+            InvariantViolation(
+                invariant="definition-1",
+                detail=(
+                    f"naive accounting: conflicting blocks at rounds "
+                    f"{result.main_block_round} and {result.fork_block_round} "
+                    f"reach strengths {result.naive_main_strength} and "
+                    f"{result.naive_fork_strength}, both >= t = {t} "
+                    f"(Appendix C counterexample)"
+                ),
+                expected=True,
+            )
+        ]
+    if result.sft_is_safe():
+        return []
+    return [
+        InvariantViolation(
+            invariant="definition-1",
+            detail=(
+                f"SFT accounting: conflicting blocks at rounds "
+                f"{result.main_block_round} and {result.fork_block_round} "
+                f"reach strengths {result.sft_main_strength} and "
+                f"{result.sft_fork_strength}, both >= t = {t}"
+            ),
+        )
+    ]

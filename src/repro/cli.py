@@ -9,6 +9,9 @@ Examples::
     python -m repro health --n 31        # QC-diversity health report
     python -m repro campaign run scenarios/smoke.toml --workers 4
     python -m repro campaign diff report.json baseline.json
+    python -m repro fuzz run --seeds 0:50 --workers 4
+    python -m repro fuzz replay scenarios/fuzz_corpus/appendix_c_naive.json
+    python -m repro fuzz shrink failing.json --out minimal.json
 """
 
 from __future__ import annotations
@@ -234,6 +237,9 @@ def command_campaign_run(args) -> int:
     if not report["summary"]["all_safe"]:
         print("SAFETY VIOLATION in at least one job", file=sys.stderr)
         exit_code = 1
+    if not report["summary"]["all_invariants_ok"]:
+        print("INVARIANT VIOLATION in at least one job", file=sys.stderr)
+        exit_code = 1
     if args.baseline:
         regressions = diff_reports(
             report,
@@ -293,6 +299,122 @@ def command_campaign_diff(args) -> int:
         commit_tolerance=args.tolerance,
     )
     return _report_regressions(regressions)
+
+
+def _describe_violations(violations, indent: str = "  ") -> None:
+    for violation in violations:
+        tag = "expected counterexample" if violation["expected"] else "VIOLATION"
+        print(f"{indent}[{tag}] {violation['invariant']}: {violation['detail']}")
+
+
+def command_fuzz_run(args) -> int:
+    from repro.experiments import save_report
+    from repro.fuzz import PROFILES, parse_seed_range, run_fuzz
+
+    try:
+        seeds = parse_seed_range(args.seeds)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    profile = PROFILES[args.profile]
+    print(
+        f"fuzz {profile.name}: {len(seeds)} seeds, workers={args.workers}",
+        file=sys.stderr,
+    )
+
+    def progress(entry):
+        print(
+            f"  {entry['job_id']}: {entry['metrics']['commits']} commits "
+            f"in {entry['wall_clock_s']:.1f}s",
+            file=sys.stderr,
+        )
+
+    report = run_fuzz(
+        seeds,
+        profile,
+        workers=args.workers,
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    if args.out:
+        save_report(report, args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+
+    for case in report["cases"]:
+        if case["violations"]:
+            status = (
+                "expected"
+                if all(v["expected"] for v in case["violations"])
+                else "VIOLATION"
+            )
+        else:
+            status = "ok"
+        print(f"{case['name']}: {status}  commits={case['commits']}")
+        _describe_violations(case["violations"])
+        if "minimized_spec" in case:
+            print(f"  minimized after {case['shrink_attempts']} attempts")
+
+    summary = report["summary"]
+    print(
+        f"\n{summary['cases']} cases: "
+        f"{summary['unexpected_violations']} unexpected violation(s), "
+        f"{summary['expected_counterexamples']} expected counterexample(s)"
+    )
+    for name in summary["minimized"]:
+        print(f"  minimized spec: {args.corpus_dir}/{name}")
+    return 1 if summary["unexpected_violations"] else 0
+
+
+def _load_fuzz_spec(path):
+    from repro.experiments import load_scenario
+
+    try:
+        return load_scenario(path)
+    except (ValueError, TypeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+
+
+def command_fuzz_replay(args) -> int:
+    from repro.fuzz import evaluate_case
+
+    spec = _load_fuzz_spec(args.spec)
+    seed = args.seed if args.seed is not None else spec.seeds[0]
+    entry = evaluate_case(spec, seed)
+    invariants = entry["metrics"]["invariants"]
+    print(
+        f"{spec.name} (seed {seed}): "
+        f"{entry['metrics']['commits']} commits, "
+        f"{len(invariants['violations'])} violation(s)"
+    )
+    _describe_violations(invariants["violations"])
+    if invariants["ok"]:
+        print("all invariants hold" if not invariants["violations"]
+              else "only expected counterexamples — invariants hold")
+    if args.strict and invariants["violations"]:
+        return 1
+    return 0 if invariants["ok"] else 1
+
+
+def command_fuzz_shrink(args) -> int:
+    from repro.experiments import save_scenario
+    from repro.fuzz import shrink_spec
+
+    spec = _load_fuzz_spec(args.spec)
+    try:
+        result = shrink_spec(spec, seed=args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    minimized = result.spec.with_overrides(name=f"{spec.name}-min")
+    out = args.out or f"{spec.name}-min.json"
+    save_scenario(minimized, out)
+    print(
+        f"{spec.name}: shrunk={result.shrunk} after {result.attempts} "
+        f"attempts → {out}"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -361,6 +483,48 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_diff.add_argument("--tolerance", type=float, default=0.25,
                                help="relative regression tolerance")
     campaign_diff.set_defaults(handler=command_campaign_diff)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="randomized fault-schedule fuzzing (invariant oracle)"
+    )
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="fuzz a seed range and judge every trace"
+    )
+    fuzz_run.add_argument("--seeds", default="0:50",
+                          help="seed range 'lo:hi', list '1,2,9', or one seed")
+    fuzz_run.add_argument("--profile", choices=("default", "smoke"),
+                          default="default")
+    fuzz_run.add_argument("--workers", type=int, default=1,
+                          help="parallel worker processes")
+    fuzz_run.add_argument("--out", default=None,
+                          help="write the JSON fuzz report here")
+    fuzz_run.add_argument("--corpus-dir", default=None,
+                          help="write minimized failing specs here")
+    fuzz_run.add_argument("--no-shrink", action="store_true",
+                          help="skip shrinking failing schedules")
+    fuzz_run.set_defaults(handler=command_fuzz_run)
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run one spec and re-check every invariant"
+    )
+    fuzz_replay.add_argument("spec", help="scenario TOML/JSON file")
+    fuzz_replay.add_argument("--seed", type=int, default=None,
+                             help="override the spec's first seed")
+    fuzz_replay.add_argument("--strict", action="store_true",
+                             help="fail even on expected counterexamples")
+    fuzz_replay.set_defaults(handler=command_fuzz_replay)
+
+    fuzz_shrink = fuzz_sub.add_parser(
+        "shrink", help="bisect a failing spec to a minimal schedule"
+    )
+    fuzz_shrink.add_argument("spec", help="scenario TOML/JSON file")
+    fuzz_shrink.add_argument("--seed", type=int, default=None,
+                             help="override the spec's first seed")
+    fuzz_shrink.add_argument("--out", default=None,
+                             help="where to write the minimized spec")
+    fuzz_shrink.set_defaults(handler=command_fuzz_shrink)
 
     return parser
 

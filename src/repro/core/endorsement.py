@@ -57,13 +57,23 @@ class EndorsementTracker:
     ``"height"`` (SFT-Streamlet).  Listeners registered through
     :meth:`add_listener` are invoked as ``listener(block, count, now)``
     in round mode whenever a block gains an endorser.
+
+    ``naive=True`` deliberately reproduces the flawed accounting that
+    Appendix C refutes: markers (and interval sets) are ignored and
+    every vote is treated as endorsing the full ancestor path, exactly
+    "counting all indirect votes".  Only the invariant oracle and the
+    fuzzer use it — to demonstrate the Definition 1 violation that SFT
+    markers repair.
     """
 
-    def __init__(self, store: BlockStore, mode: str = "round") -> None:
+    def __init__(
+        self, store: BlockStore, mode: str = "round", naive: bool = False
+    ) -> None:
         if mode not in ("round", "height"):
             raise ValueError("mode must be 'round' or 'height'")
         self._store = store
         self._mode = mode
+        self._naive = naive
         self._states: dict[BlockId, _BlockEndorsementState] = {}
         self._listeners: list = []
         self._processed_qcs: set[BlockId] = set()
@@ -124,7 +134,12 @@ class EndorsementTracker:
             if voter not in state.endorsers:
                 self._add_endorser(block, state, voter, now)
 
-        if getattr(vote, "intervals", ()):
+        if self._naive:
+            # Flawed Appendix-C accounting: pretend the voter never
+            # voted for a conflicting block (marker 0 endorses the
+            # whole ancestor path).
+            self._walk_marker(block, voter, 0, now)
+        elif getattr(vote, "intervals", ()):
             self._walk_intervals(
                 block, voter, IntervalSet.from_pairs(vote.intervals), now
             )

@@ -29,7 +29,9 @@ from repro.experiments.spec import (
     PartitionWindow,
     ScenarioSpec,
     load_scenario,
+    save_scenario,
     spec_from_mapping,
+    spec_to_mapping,
 )
 
 __all__ = [
@@ -37,7 +39,9 @@ __all__ = [
     "FaultMix",
     "PartitionWindow",
     "load_scenario",
+    "save_scenario",
     "spec_from_mapping",
+    "spec_to_mapping",
     "Campaign",
     "Job",
     "CampaignRunner",

@@ -20,13 +20,17 @@ import time
 
 from repro.analysis.chain_stats import collect_chain_stats
 from repro.analysis.health import QCDiversityMonitor
+from repro.analysis.invariants import (
+    check_appendix_c,
+    check_cluster_invariants,
+    invariant_report,
+)
 from repro.experiments.campaign import Campaign
 from repro.runtime.metrics import (
     LatencyReport,
     check_commit_safety,
     messages_per_committed_block,
     regular_commit_latency,
-    strong_commit_safety_violations,
     strong_latency_series,
     throughput_txps,
 )
@@ -96,12 +100,14 @@ def collect_job_metrics(cluster, spec) -> dict:
         safety_ok = False
         safety_error = str(error)
 
-    byzantine_count = len(cluster.byzantine_ids)
-    strong_violations = 0
-    if byzantine_count:
-        strong_violations = len(
-            strong_commit_safety_violations(observers, byzantine_count)
-        )
+    # One oracle pass covers Definition 1 (with t from the spec's fault
+    # mix) plus the structural and liveness invariants.
+    invariant_violations = check_cluster_invariants(cluster, spec)
+    strong_violations = sum(
+        1
+        for violation in invariant_violations
+        if violation.invariant == "definition-1"
+    )
 
     reference = observers[0] if observers else correct[0]
     regular_mean, regular_count = regular_commit_latency(
@@ -154,18 +160,56 @@ def collect_job_metrics(cluster, spec) -> dict:
         },
         "safety_ok": safety_ok,
         "strong_safety_violations": strong_violations,
+        "invariants": invariant_report(invariant_violations),
     }
     if safety_error is not None:
         metrics["safety_error"] = safety_error
     return metrics
 
 
+def collect_scripted_metrics(spec) -> dict:
+    """Run a scripted (non-cluster) scenario and judge it.
+
+    Scripted specs replay hand-built adversarial constructions —
+    currently only ``"appendix_c"`` (Figure 9) — under the spec's
+    accounting mode, and report through the same metrics shape as
+    cluster jobs so campaign/fuzz plumbing handles both uniformly.
+    """
+    from repro.adversary.scripted import AppendixCScenario
+
+    result = AppendixCScenario(f=spec.resolved_f()).run()
+    violations = check_appendix_c(result, naive=spec.naive_accounting)
+    # An *unexpected* Definition-1 violation (SFT accounting unsafe on
+    # its own construction) is a safety failure; the deliberate naive
+    # counterexample is not.
+    safety_ok = all(violation.expected for violation in violations)
+    return {
+        "script": spec.script,
+        "commits": 0,
+        "regular_latency_s": None,
+        "safety_ok": safety_ok,
+        "health": {"outcasts": []},
+        "messages": {"sent": 0, "delivered": 0, "bytes": 0, "per_commit": None},
+        "appendix_c": {
+            "f": result.f,
+            "naive_main_strength": result.naive_main_strength,
+            "naive_fork_strength": result.naive_fork_strength,
+            "sft_main_strength": result.sft_main_strength,
+            "sft_fork_strength": result.sft_fork_strength,
+        },
+        "invariants": invariant_report(violations),
+    }
+
+
 def run_job(job) -> dict:
     """Execute one job and return its report entry (picklable dict)."""
     start = time.perf_counter()
     spec = job.spec
-    cluster = spec.build(job.seed).run()
-    metrics = collect_job_metrics(cluster, spec)
+    if spec.script:
+        metrics = collect_scripted_metrics(spec)
+    else:
+        cluster = spec.build(job.seed).run()
+        metrics = collect_job_metrics(cluster, spec)
     wall_clock = time.perf_counter() - start
     return {
         "job_id": job.job_id,
@@ -189,6 +233,10 @@ def _summarize(results: list) -> dict:
             round(sum(latencies) / len(latencies), 6) if latencies else None
         ),
         "all_safe": all(entry["metrics"]["safety_ok"] for entry in results),
+        "all_invariants_ok": all(
+            entry["metrics"].get("invariants", {}).get("ok", True)
+            for entry in results
+        ),
         "jobs_with_outcasts": sum(
             1 for entry in results if entry["metrics"]["health"]["outcasts"]
         ),

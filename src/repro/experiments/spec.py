@@ -16,11 +16,32 @@ cluster.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from pathlib import Path
 
 from repro.adversary.behaviors import BEHAVIOR_FACTORIES
 from repro.runtime.config import PROTOCOLS, ExperimentConfig, build_cluster
+
+#: Scripted (non-cluster) scenario kinds the fuzz engine knows how to
+#: run.  ``"appendix_c"`` replays the paper's Appendix C construction
+#: (:class:`~repro.adversary.scripted.AppendixCScenario`) at ``f``
+#: taken from the spec.
+SCRIPTS = ("", "appendix_c")
+
+
+def _require_count(name: str, value) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+
+
+def _require_finite(name: str, value, minimum: float = 0.0) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum:g}, got {value!r}")
 
 
 @dataclass(slots=True)
@@ -30,7 +51,8 @@ class FaultMix:
     ``crash`` replicas halt at ``crash_at``; ``silent`` replicas never
     vote; ``equivocate`` leaders propose conflicting blocks;
     ``withhold`` leaders propose to only a ``withhold_reach`` share of
-    the network; ``lazy`` voters delay votes by ``lazy_delay`` seconds.
+    the network; ``lazy`` voters delay votes by ``lazy_delay`` seconds;
+    ``marker_lie`` replicas vote honestly but always report marker 0.
     """
 
     crash: int = 0
@@ -41,9 +63,38 @@ class FaultMix:
     withhold_reach: float = 0.5
     lazy: int = 0
     lazy_delay: float = 0.5
+    marker_lie: int = 0
+
+    def __post_init__(self):
+        for name in ("crash", "silent", "equivocate", "withhold", "lazy",
+                     "marker_lie"):
+            _require_count(f"faults.{name}", getattr(self, name))
+        _require_finite("faults.crash_at", self.crash_at)
+        _require_finite("faults.lazy_delay", self.lazy_delay)
+        _require_finite("faults.withhold_reach", self.withhold_reach)
+        if self.withhold_reach > 1.0:
+            raise ValueError(
+                f"faults.withhold_reach must be <= 1, got {self.withhold_reach!r}"
+            )
 
     def total(self) -> int:
-        return self.crash + self.silent + self.equivocate + self.withhold + self.lazy
+        return (
+            self.crash + self.silent + self.equivocate + self.withhold
+            + self.lazy + self.marker_lie
+        )
+
+    def non_voting(self) -> int:
+        """Faults that permanently remove voters (liveness accounting)."""
+        return self.crash + self.silent
+
+    def byzantine_total(self) -> int:
+        """Actual faults ``t`` for Definition 1 (everything but lazy).
+
+        Lazy voters are the paper's honest-but-slow stragglers
+        (Section 4.1); every other behaviour — including a crash, which
+        Byzantine behaviour subsumes — counts against ``t``.
+        """
+        return self.total() - self.lazy
 
     def assignments(self, n: int) -> dict[str, tuple[int, ...]]:
         """Deterministic behaviour → replica-id mapping (top ids first)."""
@@ -58,6 +109,7 @@ class FaultMix:
             ("equivocate", self.equivocate),
             ("withhold", self.withhold),
             ("lazy", self.lazy),
+            ("marker_lie", self.marker_lie),
             ("crash", self.crash),
         ):
             ids = tuple(range(next_id, next_id - count, -1))
@@ -70,7 +122,7 @@ class FaultMix:
         assigned = self.assignments(n)
         return tuple(
             replica_id
-            for name in ("silent", "equivocate", "withhold", "lazy")
+            for name in ("silent", "equivocate", "withhold", "lazy", "marker_lie")
             for replica_id in assigned[name]
         )
 
@@ -111,6 +163,21 @@ class PartitionWindow:
     groups: tuple = ()
     split: float = 0.5
 
+    def __post_init__(self):
+        _require_finite("partition start", self.start)
+        _require_finite("partition end", self.end)
+        if self.end <= self.start:
+            raise ValueError(
+                f"partition window ends at {self.end!r} before it starts "
+                f"at {self.start!r}"
+            )
+        if not self.groups:
+            _require_finite("partition split", self.split)
+            if not 0.0 < self.split < 1.0:
+                raise ValueError(
+                    f"partition split must be in (0, 1), got {self.split!r}"
+                )
+
     def resolve(self, n: int) -> tuple:
         if self.groups:
             return tuple(tuple(group) for group in self.groups)
@@ -145,6 +212,7 @@ class ScenarioSpec:
     qc_extra_wait: float = 0.0
     generalized_intervals: bool = False
     interval_window: int | None = None
+    naive_accounting: bool = False
     verify_signatures: bool = True
     drop_stale_messages: bool = True
     block_batch_count: int = 10
@@ -157,6 +225,8 @@ class ScenarioSpec:
     # Fault injection.
     faults: FaultMix = field(default_factory=FaultMix)
     partitions: tuple = ()
+    # Scripted (non-cluster) scenario kind; see SCRIPTS.
+    script: str = ""
     # Analysis knobs.
     ratios: tuple = (1.0, 1.5, 2.0)
     cutoff_fraction: float = 0.66
@@ -167,10 +237,48 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; expected one of {PROTOCOLS}"
             )
+        if self.script not in SCRIPTS:
+            raise ValueError(
+                f"unknown script {self.script!r}; expected one of {SCRIPTS}"
+            )
+        if not isinstance(self.n, int) or isinstance(self.n, bool) or self.n < 1:
+            raise ValueError(f"n must be a positive integer, got {self.n!r}")
+        if self.f is not None:
+            _require_count("f", self.f)
+        for name in (
+            "delta", "intra_delay", "ab_delay", "uniform_delay", "jitter",
+            "bandwidth_bytes_per_sec", "processing_delay", "gst",
+            "pre_gst_delay", "qc_extra_wait",
+        ):
+            _require_finite(name, getattr(self, name))
+        for name in ("duration", "round_timeout", "timeout_multiplier",
+                     "max_timeout"):
+            _require_finite(name, getattr(self, name))
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)!r}"
+                )
         self.seeds = tuple(self.seeds)
+        if not self.seeds:
+            raise ValueError("seeds must not be empty")
         self.ratios = tuple(self.ratios)
         self.region_sizes = tuple(self.region_sizes)
+        self.partitions = tuple(self.partitions)
         self.faults.assignments(self.n)  # validate counts against n
+        for window in self.partitions:
+            if window.end > self.duration and window.start >= self.duration:
+                raise ValueError(
+                    f"partition window [{window.start:g}, {window.end:g}) "
+                    f"lies entirely past duration={self.duration:g}"
+                )
+        if self.script == "appendix_c" and self.resolved_f() < 2:
+            raise ValueError(
+                "the appendix_c script needs f >= 2 "
+                f"(n={self.n}, f={self.resolved_f()})"
+            )
+
+    def resolved_f(self) -> int:
+        return self.f if self.f is not None else (self.n - 1) // 3
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy with the given fields replaced (matrix helper).
@@ -211,6 +319,7 @@ class ScenarioSpec:
             qc_extra_wait=self.qc_extra_wait,
             generalized_intervals=self.generalized_intervals,
             interval_window=self.interval_window,
+            naive_accounting=self.naive_accounting,
             verify_signatures=self.verify_signatures,
             drop_stale_messages=self.drop_stale_messages,
             block_batch_count=self.block_batch_count,
@@ -234,6 +343,12 @@ class ScenarioSpec:
 
     def build(self, seed: int | None = None):
         """A ready-to-run cluster for one seed (the factory path)."""
+        if self.script:
+            raise ValueError(
+                f"scenario {self.name!r} is scripted ({self.script!r}); "
+                "it has no cluster — run it through the fuzz engine "
+                "(repro.experiments.runner handles it transparently)"
+            )
         return build_cluster(
             self.to_experiment_config(seed), self.replica_overrides()
         )
@@ -307,3 +422,60 @@ def load_scenario(path) -> ScenarioSpec:
     """Load a single :class:`ScenarioSpec` from a TOML or JSON file."""
     path = Path(path)
     return spec_from_mapping(load_scenario_mapping(path), name=path.stem)
+
+
+# ----------------------------------------------------------------------
+# saving back to a mapping / JSON (fuzz replay + shrinker output)
+# ----------------------------------------------------------------------
+
+
+def spec_to_mapping(spec: ScenarioSpec) -> dict:
+    """The inverse of :func:`spec_from_mapping`, defaults omitted.
+
+    The mapping is JSON-serializable and loads back into an equivalent
+    spec — the contract behind replayable fuzz cases and minimized
+    counterexamples.
+    """
+    defaults = ScenarioSpec()
+    fault_defaults = FaultMix()
+    data: dict = {"name": spec.name}
+    for spec_field in dataclass_fields(ScenarioSpec):
+        key = spec_field.name
+        value = getattr(spec, key)
+        if key == "name":
+            continue
+        if key == "faults":
+            fault_data = {
+                fault_field.name: getattr(value, fault_field.name)
+                for fault_field in dataclass_fields(FaultMix)
+                if getattr(value, fault_field.name)
+                != getattr(fault_defaults, fault_field.name)
+            }
+            if fault_data:
+                data[key] = fault_data
+            continue
+        if key == "partitions":
+            if value:
+                data[key] = [_window_to_mapping(window) for window in value]
+            continue
+        if value == getattr(defaults, key):
+            continue
+        data[key] = list(value) if isinstance(value, tuple) else value
+    return data
+
+
+def _window_to_mapping(window: PartitionWindow) -> dict:
+    entry: dict = {"start": window.start, "end": window.end}
+    if window.groups:
+        entry["groups"] = [list(group) for group in window.groups]
+    elif window.split != 0.5:
+        entry["split"] = window.split
+    return entry
+
+
+def save_scenario(spec: ScenarioSpec, path) -> None:
+    """Write ``spec`` as a replayable JSON scenario file."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(spec_to_mapping(spec), indent=2, sort_keys=True) + "\n"
+    )

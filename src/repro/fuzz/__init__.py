@@ -1,0 +1,42 @@
+"""Randomized fault-schedule fuzzing with an invariant oracle.
+
+The standing scenario-discovery loop: sample adversarial schedules
+(:mod:`repro.fuzz.generator`), run them through the campaign engine,
+judge every trace with the global invariant oracle
+(:mod:`repro.analysis.invariants`), and shrink failures to minimal
+replayable specs (:mod:`repro.fuzz.shrink`).
+
+    from repro.fuzz import SMOKE_PROFILE, run_fuzz
+
+    report = run_fuzz(range(50), SMOKE_PROFILE, workers=4)
+"""
+
+from repro.fuzz.engine import (
+    evaluate_case,
+    fuzz_jobs,
+    parse_seed_range,
+    run_fuzz,
+)
+from repro.fuzz.generator import (
+    DEFAULT_PROFILE,
+    PROFILES,
+    SMOKE_PROFILE,
+    FuzzProfile,
+    generate_spec,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_spec, spec_fails
+
+__all__ = [
+    "FuzzProfile",
+    "DEFAULT_PROFILE",
+    "SMOKE_PROFILE",
+    "PROFILES",
+    "generate_spec",
+    "fuzz_jobs",
+    "run_fuzz",
+    "evaluate_case",
+    "parse_seed_range",
+    "ShrinkResult",
+    "shrink_spec",
+    "spec_fails",
+]

@@ -1,0 +1,236 @@
+"""Deterministic, seed-driven adversarial schedule sampling.
+
+:func:`generate_spec` maps ``(profile, seed)`` to one
+:class:`~repro.experiments.spec.ScenarioSpec` — a full adversarial
+schedule: a fault mix drawn from the
+:data:`~repro.adversary.behaviors.BEHAVIOR_FACTORIES` registry,
+partition windows, per-link latency/jitter, leader-targeted crash
+timing, GST placement, and (occasionally) a scripted Appendix C
+construction or a deliberately *naive* accounting run.  Everything is
+derived from one ``random.Random`` seeded by the profile name and the
+case seed, so the same seed always yields byte-identical specs — the
+property that makes fuzz reports reproducible and corpus entries
+replayable.
+
+The sampled spec runs through the ordinary campaign machinery
+(:func:`repro.experiments.runner.run_job`); nothing here touches
+protocol code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.adversary.behaviors import BEHAVIOR_FACTORIES
+from repro.analysis.invariants import liveness_bound_s, recovery_time
+from repro.experiments.spec import FaultMix, PartitionWindow, ScenarioSpec
+
+#: Behaviours the fault sampler draws from: every registered Byzantine
+#: behaviour plus benign crashes.
+FAULT_KINDS = tuple(BEHAVIOR_FACTORIES) + ("crash",)
+
+
+@dataclass(frozen=True, slots=True)
+class FuzzProfile:
+    """Bounds and biases for one family of fuzz schedules.
+
+    ``over_budget_rate`` is how often the sampled fault count ``t``
+    goes to ``f + 1`` — past the classical bound, into the regime
+    Definition 1 is about.  ``naive_rate`` flips runs to the flawed
+    all-indirect-votes accounting (expected counterexamples);
+    ``scripted_rate`` emits Appendix-C constructions directly.
+    """
+
+    name: str = "default"
+    protocols: tuple = ("sft-diembft", "sft-streamlet")
+    n_choices: tuple = (4, 7, 10, 13)
+    round_timeouts: tuple = (0.3, 0.5)
+    min_duration: float = 5.0
+    max_duration: float = 14.0
+    fault_rate: float = 0.8
+    over_budget_rate: float = 0.35
+    partition_rate: float = 0.55
+    max_partitions: int = 2
+    gst_rate: float = 0.4
+    regions_rate: float = 0.25
+    naive_rate: float = 0.15
+    scripted_rate: float = 0.08
+    scripted_f_choices: tuple = (2, 3, 4)
+
+
+DEFAULT_PROFILE = FuzzProfile()
+
+#: A CI-sized profile: small clusters, short runs, same schedule space.
+SMOKE_PROFILE = FuzzProfile(
+    name="smoke",
+    n_choices=(4, 7),
+    round_timeouts=(0.3,),
+    min_duration=4.0,
+    max_duration=8.0,
+    max_partitions=1,
+    scripted_f_choices=(2,),
+)
+
+PROFILES = {
+    "default": DEFAULT_PROFILE,
+    "smoke": SMOKE_PROFILE,
+}
+
+
+def _rng_for(profile: FuzzProfile, seed: int) -> random.Random:
+    # str seeds hash through SHA-512 inside random.seed, so this is
+    # stable across processes and Python invocations (unlike hash()).
+    return random.Random(f"sft-fuzz:{profile.name}:{seed}")
+
+
+def _sample_faults(rng: random.Random, n: int, f: int, profile: FuzzProfile,
+                   duration: float, per_round: float) -> FaultMix:
+    budget = f + 1 if rng.random() < profile.over_budget_rate else f
+    budget = min(budget, n - 1)
+    if budget <= 0:
+        return FaultMix()
+    total = rng.randint(1, budget)
+    counts = dict.fromkeys(FAULT_KINDS, 0)
+    for _ in range(total):
+        counts[rng.choice(FAULT_KINDS)] += 1
+    mix = FaultMix(
+        crash=counts["crash"],
+        silent=counts["silent"],
+        equivocate=counts["equivocate"],
+        withhold=counts["withhold"],
+        withhold_reach=rng.choice((0.34, 0.5, 0.67)),
+        lazy=counts["lazy"],
+        lazy_delay=round(rng.uniform(0.05, 0.4), 3),
+        marker_lie=counts["marker_lie"],
+    )
+    if mix.crash:
+        mix = replace(mix, crash_at=_crash_time(rng, mix, n, duration, per_round))
+    return mix
+
+
+def _crash_time(rng: random.Random, mix: FaultMix, n: int,
+                duration: float, per_round: float) -> float:
+    """When the crash fires: random, or aimed at a round the victim leads.
+
+    Leader election is round-robin (``leader(r) = r mod n``), so the
+    first crashing replica leads rounds ``id, id + n, id + 2n, …``;
+    ``per_round`` estimates fault-free round pacing, putting the crash
+    right around a leadership window — the classic "leader dies
+    mid-propose" schedule.
+    """
+    if rng.random() < 0.5:
+        return round(rng.uniform(0.0, duration * 0.5), 3)
+    victim = mix.assignments(n)["crash"][0]
+    target_round = victim + n * rng.randint(0, 2)
+    return round(min(target_round * per_round, duration * 0.7), 4)
+
+
+def _sample_partitions(rng: random.Random, profile: FuzzProfile) -> tuple:
+    if rng.random() >= profile.partition_rate:
+        return ()
+    windows = []
+    for _ in range(rng.randint(1, profile.max_partitions)):
+        start = round(rng.uniform(0.5, 3.5), 3)
+        length = round(rng.uniform(0.4, 2.0), 3)
+        windows.append(
+            PartitionWindow(
+                start=start,
+                end=round(start + length, 3),
+                split=rng.choice((0.3, 0.5, 0.7)),
+            )
+        )
+    return tuple(sorted(windows, key=lambda window: window.start))
+
+
+def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> ScenarioSpec:
+    """The adversarial schedule for one fuzz seed (pure function)."""
+    rng = _rng_for(profile, seed)
+    name = f"fuzz-{profile.name}-{seed:05d}"
+
+    if rng.random() < profile.scripted_rate:
+        f = rng.choice(profile.scripted_f_choices)
+        return ScenarioSpec(
+            name=name,
+            script="appendix_c",
+            protocol="sft-diembft",
+            n=3 * f + 1,
+            naive_accounting=rng.random() < 0.5,
+            seeds=(seed,),
+        )
+
+    protocol = rng.choice(profile.protocols)
+    n = rng.choice(profile.n_choices)
+    f = (n - 1) // 3
+    round_timeout = rng.choice(profile.round_timeouts)
+
+    # Per-link latency/jitter: either a flat mesh or 2-3 geo regions.
+    if rng.random() < profile.regions_rate and n >= 4:
+        region_count = rng.choice((2, 3)) if n >= 6 else 2
+        sizes = [n // region_count] * region_count
+        for index in range(n - sum(sizes)):
+            sizes[index] += 1
+        topology_kwargs = dict(
+            topology="regions",
+            region_sizes=tuple(sizes),
+            delta=round(rng.uniform(0.02, 0.1), 4),
+            intra_delay=round(rng.uniform(0.001, 0.005), 4),
+        )
+        max_delay = topology_kwargs["delta"]
+    else:
+        topology_kwargs = dict(
+            topology="uniform",
+            uniform_delay=round(rng.uniform(0.004, 0.02), 4),
+        )
+        max_delay = topology_kwargs["uniform_delay"]
+    jitter = round(rng.uniform(0.0, 0.006), 4)
+
+    gst = 0.0
+    pre_gst_delay = 0.0
+    if rng.random() < profile.gst_rate:
+        gst = round(rng.uniform(0.5, 2.0), 3)
+        pre_gst_delay = round(rng.uniform(0.05, 0.6), 3)
+
+    partitions = _sample_partitions(rng, profile)
+
+    # Leave enough post-recovery budget to arm the liveness check when
+    # the schedule allows it; the oracle skips the check otherwise.
+    probe = ScenarioSpec(
+        name=name,
+        protocol=protocol,
+        n=n,
+        round_timeout=round_timeout,
+        jitter=jitter,
+        gst=gst,
+        pre_gst_delay=pre_gst_delay,
+        partitions=partitions,
+        seeds=(seed,),
+        **topology_kwargs,
+    )
+    duration = recovery_time(probe) + liveness_bound_s(probe) + rng.uniform(1.0, 3.0)
+    duration = round(
+        min(max(duration, profile.min_duration), profile.max_duration), 3
+    )
+
+    per_round = max(2.5 * (max_delay + jitter), 0.02)
+    faults = FaultMix()
+    if rng.random() < profile.fault_rate:
+        faults = _sample_faults(rng, n, f, profile, duration, per_round)
+
+    naive = protocol.startswith("sft") and rng.random() < profile.naive_rate
+
+    return ScenarioSpec(
+        name=name,
+        protocol=protocol,
+        n=n,
+        round_timeout=round_timeout,
+        jitter=jitter,
+        gst=gst,
+        pre_gst_delay=pre_gst_delay,
+        partitions=partitions,
+        duration=duration,
+        faults=faults,
+        naive_accounting=naive,
+        seeds=(seed,),
+        **topology_kwargs,
+    )

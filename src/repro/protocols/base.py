@@ -38,6 +38,9 @@ class ReplicaConfig:
       strong-vote mode;
     * ``observer`` — whether this replica pays for endorsement /
       strength bookkeeping (metrics); protocol behaviour is unaffected;
+    * ``naive_endorsement`` — count every indirect vote as an
+      endorsement, ignoring markers (the flawed scheme Appendix C
+      refutes; only the fuzzer's invariant oracle turns this on);
     * ``verify_signatures`` — validate every signature on receipt
       (on for tests; large benches may disable for speed);
     * ``block_batch_count`` / ``block_batch_bytes`` — synthetic payload
@@ -53,6 +56,7 @@ class ReplicaConfig:
     generalized_intervals: bool = False
     interval_window: int | None = None
     observer: bool = True
+    naive_endorsement: bool = False
     verify_signatures: bool = True
     drop_stale_messages: bool = True
     block_batch_count: int = 1000

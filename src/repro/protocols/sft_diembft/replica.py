@@ -51,7 +51,11 @@ class SFTDiemBFTReplica(DiemBFTReplica):
 
     def _make_commit_tracker(self) -> CommitTracker:
         if self.config.observer:
-            self.endorsement = EndorsementTracker(self.store, mode="round")
+            self.endorsement = EndorsementTracker(
+                self.store,
+                mode="round",
+                naive=self.config.naive_endorsement,
+            )
         return CommitTracker(
             self.store,
             self.config.f,

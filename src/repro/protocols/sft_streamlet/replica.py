@@ -44,7 +44,11 @@ class SFTStreamletReplica(StreamletReplica):
 
     def _make_commit_tracker(self) -> CommitTracker:
         if self.config.observer:
-            self.endorsement = EndorsementTracker(self.store, mode="height")
+            self.endorsement = EndorsementTracker(
+                self.store,
+                mode="height",
+                naive=self.config.naive_endorsement,
+            )
         return CommitTracker(
             self.store,
             self.config.f,

@@ -132,6 +132,15 @@ class StreamletReplica(BaseReplica):
         parent_qc = self.store.qc_for(parent.id())
         if parent_qc is None:
             return  # cannot justify the extension; skip the slot
+        proposal = self._signed_proposal(parent, parent_qc, round_number)
+        self.blocks_proposed += 1
+        self.context.multicast(proposal, include_self=True)
+
+    def _signed_proposal(
+        self, parent: Block, parent_qc, round_number: int, commit_log: tuple = ()
+    ) -> ProposalMsg:
+        """Build and sign a proposal extending ``parent`` (also the seam
+        adversarial leader behaviours construct their blocks through)."""
         block = Block(
             parent_id=parent.id(),
             qc=parent_qc,
@@ -140,19 +149,18 @@ class StreamletReplica(BaseReplica):
             proposer=self.replica_id,
             payload=self.payload_source(self.context.now),
             created_at=self.context.now,
+            commit_log=commit_log,
         )
         proposal = ProposalMsg(
             sender=self.replica_id, round=round_number, block=block
         )
         signature = self.context.signing_key.sign(proposal.signing_payload())
-        proposal = ProposalMsg(
+        return ProposalMsg(
             sender=proposal.sender,
             round=proposal.round,
             block=proposal.block,
             signature=signature,
         )
-        self.blocks_proposed += 1
-        self.context.multicast(proposal, include_self=True)
 
     def _choose_parent(self) -> Block:
         """Tip of the longest certified chain (deterministic tiebreak)."""

@@ -68,6 +68,7 @@ class ExperimentConfig:
     qc_extra_wait: float = 0.0
     generalized_intervals: bool = False
     interval_window: int | None = None
+    naive_accounting: bool = False
     verify_signatures: bool = True
     drop_stale_messages: bool = True
     block_batch_count: int = 1000
@@ -152,6 +153,7 @@ class ExperimentConfig:
             generalized_intervals=self.generalized_intervals,
             interval_window=self.interval_window,
             observer=observing,
+            naive_endorsement=self.naive_accounting,
             verify_signatures=self.verify_signatures,
             drop_stale_messages=self.drop_stale_messages,
             block_batch_count=self.block_batch_count,

@@ -257,6 +257,46 @@ class TestCampaignCLI:
         assert code == 2
         assert "error:" in stderr.getvalue()
 
+    def test_inverted_partition_window_errors_cleanly(self, tmp_path):
+        spec = tmp_path / "inverted.toml"
+        spec.write_text(
+            "\n".join(
+                [
+                    'name = "inverted"',
+                    "n = 4",
+                    "[[partitions]]",
+                    "start = 5.0",
+                    "end = 2.0",
+                ]
+            )
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            self._run_cli(["campaign", "run", str(spec)])
+        assert excinfo.value.code == 2
+
+    def test_negative_latency_errors_cleanly(self, tmp_path):
+        spec = tmp_path / "latency.toml"
+        spec.write_text('name = "l"\nn = 4\njitter = -0.5\n')
+        with pytest.raises(SystemExit) as excinfo:
+            self._run_cli(["campaign", "run", str(spec)])
+        assert excinfo.value.code == 2
+
+    def test_nan_latency_errors_cleanly(self, tmp_path):
+        spec = tmp_path / "nan.toml"
+        spec.write_text('name = "n"\nn = 4\nuniform_delay = nan\n')
+        with pytest.raises(SystemExit) as excinfo:
+            self._run_cli(["campaign", "run", str(spec)])
+        assert excinfo.value.code == 2
+
+    def test_overfull_fault_mix_errors_cleanly(self, tmp_path):
+        spec = tmp_path / "overfull.toml"
+        spec.write_text(
+            'name = "o"\nn = 4\n[faults]\nsilent = 3\nequivocate = 2\n'
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            self._run_cli(["campaign", "run", str(spec)])
+        assert excinfo.value.code == 2
+
     def test_malformed_report_errors_cleanly(self, tmp_path):
         bad = tmp_path / "bad.json"
         bad.write_text("{not json")

@@ -1,0 +1,71 @@
+"""Differential fuzzing: the same seed under plain vs SFT protocols.
+
+One generated schedule runs under the plain protocol and its SFT
+variant.  Cross-protocol property: the SFT variant must never report
+*weaker* strength than the plain protocol's implicit guarantee — every
+block an honest SFT observer commits must be at least ``f``-strong
+(a regular commit certifies ``2f + 1`` direct endorsers, so SFT's
+bookkeeping can only add to the plain commit, never subtract).  Both
+runs must hold every oracle invariant.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.invariants import check_cluster_invariants, honest_observers
+from repro.fuzz import SMOKE_PROFILE, generate_spec
+
+#: Same schedule space as CI smoke fuzz, minus the cases that have no
+#: plain-protocol counterpart (scripted Appendix C, naive accounting).
+DIFF_PROFILE = replace(
+    SMOKE_PROFILE, name="diff", scripted_rate=0.0, naive_rate=0.0
+)
+
+PAIRS = (("diembft", "sft-diembft"), ("streamlet", "sft-streamlet"))
+SEEDS = (0, 1, 2)
+
+
+def _run(spec, seed):
+    cluster = spec.build(seed).run()
+    violations = check_cluster_invariants(cluster, spec)
+    assert not violations, [violation.detail for violation in violations]
+    return cluster
+
+
+@pytest.mark.parametrize("plain,sft", PAIRS, ids=lambda value: value)
+def test_sft_variant_never_weaker_than_plain(plain, sft):
+    committed_strong = 0
+    for seed in SEEDS:
+        base = generate_spec(seed, DIFF_PROFILE)
+        _run(base.with_overrides(protocol=plain), seed)
+        sft_cluster = _run(base.with_overrides(protocol=sft), seed)
+
+        f = sft_cluster.config.resolved_f()
+        for replica in honest_observers(sft_cluster):
+            for event in replica.commit_tracker.commit_order:
+                block = replica.store.maybe_get(event.block_id)
+                if block is None or block.is_genesis():
+                    continue
+                strength = replica.commit_tracker.strength_of(event.block_id)
+                assert strength >= f, (
+                    f"seed {seed}: block at height {event.height} committed "
+                    f"by replica {replica.replica_id} has strength "
+                    f"{strength} < f = {f}"
+                )
+                committed_strong += 1
+    assert committed_strong > 0, "no commits across any differential seed"
+
+
+@pytest.mark.parametrize("plain,sft", PAIRS, ids=lambda value: value)
+def test_generated_schedule_identical_across_protocols(plain, sft):
+    """The differential pair really is the *same* schedule."""
+    for seed in SEEDS:
+        base = generate_spec(seed, DIFF_PROFILE)
+        plain_spec = base.with_overrides(protocol=plain)
+        sft_spec = base.with_overrides(protocol=sft)
+        assert plain_spec.with_overrides(protocol="diembft") == (
+            sft_spec.with_overrides(protocol="diembft")
+        )
+        assert plain_spec.faults == sft_spec.faults
+        assert plain_spec.partitions == sft_spec.partitions

@@ -222,3 +222,128 @@ class TestBaselineDiff:
         baseline = _report_with("a/seed=1", 0.10)
         assert diff_reports(current, baseline, latency_tolerance=0.5) == []
         assert diff_reports(current, baseline, latency_tolerance=0.1)
+
+
+class TestValidationGaps:
+    """Malformed schedules the fuzz generator's neighbourhood can
+    produce must fail loudly at spec-construction time."""
+
+    def test_negative_fault_counts_rejected(self):
+        with pytest.raises(ValueError, match="faults.silent"):
+            FaultMix(silent=-1)
+        with pytest.raises(ValueError, match="faults.crash"):
+            FaultMix(crash=-2)
+
+    def test_overfull_fault_mix_rejected(self):
+        with pytest.raises(ValueError, match="fault mix"):
+            ScenarioSpec(name="x", n=4, faults=FaultMix(silent=3, equivocate=2))
+
+    def test_nan_and_negative_latencies_rejected(self):
+        with pytest.raises(ValueError, match="uniform_delay"):
+            ScenarioSpec(name="x", uniform_delay=float("nan"))
+        with pytest.raises(ValueError, match="jitter"):
+            ScenarioSpec(name="x", jitter=-0.1)
+        with pytest.raises(ValueError, match="delta"):
+            ScenarioSpec(name="x", delta=float("inf"))
+        with pytest.raises(ValueError, match="crash_at"):
+            FaultMix(crash=1, crash_at=float("nan"))
+
+    def test_bad_f_rejected(self):
+        with pytest.raises(ValueError, match="f must be"):
+            ScenarioSpec(name="x", n=4, f=-1)
+        with pytest.raises(ValueError, match="f must be"):
+            ScenarioSpec(name="x", n=4, f=1.5)
+
+    def test_nonpositive_run_knobs_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            ScenarioSpec(name="x", duration=0.0)
+        with pytest.raises(ValueError, match="round_timeout"):
+            ScenarioSpec(name="x", round_timeout=-1.0)
+        with pytest.raises(ValueError, match="n must be"):
+            ScenarioSpec(name="x", n=0)
+        with pytest.raises(ValueError, match="seeds"):
+            ScenarioSpec(name="x", seeds=())
+
+    def test_inverted_partition_window_rejected(self):
+        with pytest.raises(ValueError, match="before it starts"):
+            PartitionWindow(start=3.0, end=1.0)
+        with pytest.raises(ValueError, match="before it starts"):
+            PartitionWindow(start=1.0, end=1.0)
+
+    def test_partition_split_bounds(self):
+        with pytest.raises(ValueError, match="split"):
+            PartitionWindow(start=0.0, end=1.0, split=0.0)
+        with pytest.raises(ValueError, match="split"):
+            PartitionWindow(start=0.0, end=1.0, split=1.5)
+
+    def test_partition_past_duration_rejected(self):
+        with pytest.raises(ValueError, match="past duration"):
+            ScenarioSpec(
+                name="x",
+                duration=5.0,
+                partitions=(PartitionWindow(start=6.0, end=8.0),),
+            )
+
+    def test_withhold_reach_bounds(self):
+        with pytest.raises(ValueError, match="withhold_reach"):
+            FaultMix(withhold=1, withhold_reach=1.5)
+        with pytest.raises(ValueError, match="withhold_reach"):
+            FaultMix(withhold=1, withhold_reach=-0.5)
+
+
+class TestMarkerLieMix:
+    def test_marker_lie_assignment_and_byzantine_ids(self):
+        mix = FaultMix(marker_lie=2, crash=1)
+        assigned = mix.assignments(10)
+        assert assigned["marker_lie"] == (9, 8)
+        assert assigned["crash"] == (7,)
+        assert set(mix.byzantine_ids(10)) == {9, 8}
+        assert mix.byzantine_total() == 3
+
+    def test_lazy_excluded_from_byzantine_total(self):
+        mix = FaultMix(lazy=2, silent=1)
+        assert mix.byzantine_total() == 1
+        assert mix.non_voting() == 1
+
+    def test_marker_lie_override_applies(self):
+        spec = ScenarioSpec(name="x", n=7, faults=FaultMix(marker_lie=1))
+        cluster = spec.build().build()
+        assert type(cluster.replicas[6]).__name__.startswith("MarkerLiar")
+
+
+class TestSpecSerialization:
+    def test_to_mapping_omits_defaults(self):
+        from repro.experiments import spec_to_mapping
+
+        mapping = spec_to_mapping(ScenarioSpec(name="x"))
+        assert mapping == {"name": "x"}
+
+    def test_round_trip_with_everything(self):
+        from repro.experiments import spec_from_mapping, spec_to_mapping
+
+        spec = ScenarioSpec(
+            name="full",
+            protocol="sft-streamlet",
+            n=10,
+            gst=1.5,
+            pre_gst_delay=0.3,
+            naive_accounting=True,
+            duration=9.0,
+            seeds=(3, 4),
+            faults=FaultMix(silent=1, crash=1, crash_at=2.0, marker_lie=1),
+            partitions=(
+                PartitionWindow(start=1.0, end=2.0, split=0.3),
+                PartitionWindow(start=3.0, end=4.0, groups=((0, 1), (2, 3))),
+            ),
+        )
+        assert spec_from_mapping(spec_to_mapping(spec)) == spec
+
+    def test_save_and_load_scenario(self, tmp_path):
+        from repro.experiments import load_scenario, save_scenario
+
+        spec = ScenarioSpec(
+            name="saved", n=7, script="appendix_c", naive_accounting=True
+        )
+        path = tmp_path / "saved.json"
+        save_scenario(spec, path)
+        assert load_scenario(path) == spec
