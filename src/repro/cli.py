@@ -12,6 +12,8 @@ Examples::
     python -m repro fuzz run --seeds 0:50 --workers 4
     python -m repro fuzz replay scenarios/fuzz_corpus/appendix_c_naive.json
     python -m repro fuzz shrink failing.json --out minimal.json
+    python -m repro bench run --suite smoke --label local
+    python -m repro bench compare BENCH_local.json BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -417,6 +419,99 @@ def command_fuzz_shrink(args) -> int:
     return 0
 
 
+def command_bench_run(args) -> int:
+    from repro.perf import (
+        SUITES,
+        bench_path,
+        build_report,
+        compare_benchmarks,
+        format_bench_table,
+        run_suite,
+        save_bench,
+    )
+
+    cases = SUITES[args.suite]()
+    print(
+        f"bench {args.label}: suite={args.suite} ({len(cases)} cases), "
+        f"repeats={args.repeats}, workers={args.workers}",
+        file=sys.stderr,
+    )
+
+    def progress(entry):
+        wall = entry.get("run_wall_clock_s", entry["wall_clock_s"])
+        print(
+            f"  {entry['job_id']}: {entry['metrics'].get('events', 0)} events "
+            f"in {wall:.2f}s",
+            file=sys.stderr,
+        )
+
+    results = run_suite(
+        cases, repeats=args.repeats, workers=args.workers, progress=progress
+    )
+    report = build_report(
+        args.label, args.suite, results, repeats=args.repeats,
+        workers=args.workers,
+    )
+    out = args.out or bench_path(args.label)
+    save_bench(report, out)
+    print(f"report written to {out}", file=sys.stderr)
+    print(format_bench_table(report))
+    if args.baseline:
+        from repro.perf import format_comparison
+
+        baseline = _load_bench_file(args.baseline)
+        print()
+        print(format_comparison(report, baseline))
+        try:
+            regressions = compare_benchmarks(
+                report, baseline, threshold=args.threshold
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return _report_bench_regressions(regressions, args.threshold)
+    return 0
+
+
+def _load_bench_file(path):
+    import json
+
+    from repro.perf import load_bench
+
+    try:
+        return load_bench(path)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+
+
+def _report_bench_regressions(regressions, threshold) -> int:
+    if not regressions:
+        print(f"\nbench gate: no regressions (threshold {threshold:.0%})")
+        return 0
+    print(f"\nbench gate: {len(regressions)} regression(s) past "
+          f"{threshold:.0%}")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 1
+
+
+def command_bench_compare(args) -> int:
+    from repro.perf import compare_benchmarks, format_comparison
+
+    current = _load_bench_file(args.report)
+    baseline = _load_bench_file(args.baseline)
+    print(format_comparison(current, baseline))
+    try:
+        regressions = compare_benchmarks(
+            current, baseline, threshold=args.threshold
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _report_bench_regressions(regressions, args.threshold)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -525,6 +620,39 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_shrink.add_argument("--out", default=None,
                              help="where to write the minimized spec")
     fuzz_shrink.set_defaults(handler=command_fuzz_shrink)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="macro-benchmarks and BENCH_*.json perf tracking"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run the benchmark suite and write BENCH_<label>.json"
+    )
+    bench_run.add_argument("--suite", choices=("full", "smoke"),
+                           default="full")
+    bench_run.add_argument("--label", default="local",
+                           help="report label (file: BENCH_<label>.json)")
+    bench_run.add_argument("--repeats", type=int, default=3,
+                           help="runs per case; best-of wall clock is kept")
+    bench_run.add_argument("--workers", type=int, default=1,
+                           help="parallel workers (1 for stable timings)")
+    bench_run.add_argument("--out", default=None,
+                           help="override the report path")
+    bench_run.add_argument("--baseline", default=None,
+                           help="also compare against this bench report")
+    bench_run.add_argument("--threshold", type=float, default=0.20,
+                           help="relative events/sec regression threshold")
+    bench_run.set_defaults(handler=command_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="gate one bench report against a baseline"
+    )
+    bench_compare.add_argument("report", help="current BENCH_*.json")
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("--threshold", type=float, default=0.20,
+                               help="relative events/sec regression threshold")
+    bench_compare.set_defaults(handler=command_bench_compare)
 
     return parser
 

@@ -83,6 +83,8 @@ class CommitTracker:
         self.strong_events: list[StrongCommitEvent] = []
         self._timelines: dict[BlockId, StrengthTimeline] = {}
         self._active_triples: dict[BlockId, tuple] = {}
+        self._max_strength = max_strength(f)
+        self._quorum = 2 * f + 1
         self.highest_committed_round = 0
         if endorsement is not None and rule == "diembft":
             endorsement.add_listener(self._on_endorser_update)
@@ -182,9 +184,30 @@ class CommitTracker:
             self._evaluate_triple(head, middle, tip, now)
 
     def _on_endorser_update(self, block: Block, count: int, now: float) -> None:
-        """Endorsement listener (round mode): re-check affected triples."""
-        del count
+        """Endorsement listener (round mode): re-check affected triples.
+
+        Strength is ``min(counts) - f - 1`` and a strong commit needs
+        strength ≥ f, i.e. every 3-chain member at ≥ 2f + 1 endorsers.
+        While ``block`` itself is still below quorum no triple through
+        it can fire, so the first 2f updates per block skip the
+        structural walk entirely — the dominant listener cost at scale.
+        """
+        if count < self._quorum:
+            return
+        # ``block`` participates in each triple, so any strength
+        # computed below is ≤ min(count - f - 1, 2f); an anchor already
+        # at that level cannot rise — skip the certification/count
+        # queries.
+        bound = count - self.f - 1
+        if bound > self._max_strength:
+            bound = self._max_strength
+        timelines = self._timelines
+        head_anchor = self._rule == "diembft"
         for triple in self._triples_containing(block):
+            anchor = triple[0] if head_anchor else triple[1]
+            timeline = timelines.get(anchor.id())
+            if timeline is not None and timeline.current >= bound:
+                continue
             self._evaluate_triple(*triple, now)
 
     def _triples_containing(self, block: Block):
@@ -203,16 +226,16 @@ class CommitTracker:
             yield (grand, parent, block)
         # block as middle
         if parent is not None and block.round == parent.round + 1:
-            for child_id in store.children(block_id):
+            for child_id in store.iter_children(block_id):
                 child = store.get(child_id)
                 if child.round == block.round + 1:
                     yield (parent, block, child)
         # block as head
-        for child_id in store.children(block_id):
+        for child_id in store.iter_children(block_id):
             child = store.get(child_id)
             if child.round != block.round + 1:
                 continue
-            for grandchild_id in store.children(child_id):
+            for grandchild_id in store.iter_children(child_id):
                 grandchild = store.get(grandchild_id)
                 if grandchild.round == child.round + 1:
                     yield (block, child, grandchild)
@@ -220,9 +243,20 @@ class CommitTracker:
     def _evaluate_triple(
         self, head: Block, middle: Block, tip: Block, now: float
     ) -> None:
-        """Apply the strong commit rule to one 3-chain."""
+        """Apply the strong commit rule to one 3-chain.
+
+        Two provably-no-op cases exit early: an anchor already at max
+        strength cannot rise (``raise_to`` would refuse), and a
+        computed strength at or below the anchor's current level
+        changes nothing either.  Both skips leave every observable
+        state — timelines, events, first-reach times — identical.
+        """
         if self._endorsement is None:
             return
+        anchor = head if self._rule == "diembft" else middle
+        timeline = self._timelines.get(anchor.id())
+        if timeline is not None and timeline.current >= self._max_strength:
+            return  # saturated: nothing a new endorser can add
         if not (
             self._store.is_certified(head.id())
             and self._store.is_certified(middle.id())
@@ -235,7 +269,6 @@ class CommitTracker:
                 self._endorsement.count(middle.id()),
                 self._endorsement.count(tip.id()),
             )
-            anchor = head
         else:
             k = middle.height
             counts = (
@@ -243,11 +276,12 @@ class CommitTracker:
                 self._endorsement.count_at(middle.id(), k),
                 self._endorsement.count_at(tip.id(), k),
             )
-            anchor = middle
         strength = min(counts) - self.f - 1
-        strength = min(strength, max_strength(self.f))
+        strength = min(strength, self._max_strength)
         if strength < self.f:
             return  # below the regular commit threshold: no strong commit yet
+        if timeline is not None and strength <= timeline.current:
+            return  # already recorded at this level or higher
         self._raise_strength(anchor, strength, now)
 
     def evaluate_strong_commits(self, now: float) -> None:

@@ -139,7 +139,7 @@ class EndorsementTracker:
             # voted for a conflicting block (marker 0 endorses the
             # whole ancestor path).
             self._walk_marker(block, voter, 0, now)
-        elif getattr(vote, "intervals", ()):
+        elif vote.intervals:
             self._walk_intervals(
                 block, voter, IntervalSet.from_pairs(vote.intervals), now
             )
@@ -284,7 +284,7 @@ class BruteForceEndorsementOracle:
                 continue
             if not self._store.is_ancestor(block_id, vote.block_id):
                 continue
-            if getattr(vote, "intervals", ()):
+            if vote.intervals:
                 if any(lo <= threshold <= hi for lo, hi in vote.intervals):
                     result.add(vote.voter)
             elif vote.conflicts_marker() < threshold:

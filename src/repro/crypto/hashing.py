@@ -9,7 +9,7 @@ output with a readable hex form used throughout logs and tests.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.serialization import canonical_bytes
 
@@ -19,10 +19,26 @@ class HashDigest:
     """An immutable 32-byte SHA-256 digest usable as a dict key."""
 
     value: bytes
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.value, bytes) or len(self.value) != 32:
             raise ValueError("HashDigest requires exactly 32 bytes")
+
+    def __hash__(self) -> int:
+        """Dataclass hash, cached — digests key every hot dict/set.
+
+        The value matches the generated ``hash((self.value,))`` so set
+        iteration orders (and hence seeded-run determinism) are
+        byte-for-byte identical to the uncached implementation.
+        """
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.value,))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def hex(self) -> str:
         """Return the full hexadecimal form of the digest."""

@@ -21,7 +21,21 @@ class KeyRegistry:
     Secrets are derived from a registry seed so that two registries
     built with the same ``(n, seed)`` are interchangeable — handy for
     reconstructing verification state in tests and light clients.
+
+    Verification results are memoized per registry, keyed by
+    ``(signer, payload, mac)``: HMAC verification is pure, so a vote
+    whose signature one replica checked is never re-HMAC'd when the
+    other ``n - 1`` replicas of the same simulated cluster see it in a
+    QC.  ``memoize`` is a class-level switch the differential
+    determinism tests flip off to prove caching never changes results.
     """
+
+    #: Process-wide toggle; tests disable it to cross-check results.
+    memoize = True
+
+    #: Memo-size bound; reaching it clears the memo (cheap, rare — a
+    #: long run re-warms within one round).
+    _MEMO_LIMIT = 1 << 20
 
     def __init__(self, n: int, seed: bytes = b"repro-sft") -> None:
         if n <= 0:
@@ -29,6 +43,7 @@ class KeyRegistry:
         self.n = n
         self._signing_keys = []
         self._verifying_keys = []
+        self._verify_memo: dict = {}
         for replica_id in range(n):
             secret = hashlib.sha256(seed + b"|" + str(replica_id).encode()).digest()
             key = SigningKey(replica_id, secret)
@@ -45,9 +60,19 @@ class KeyRegistry:
 
     def verify(self, message: bytes, signature: Signature) -> bool:
         """Verify one signature against the registered key of its signer."""
-        if not 0 <= signature.signer < self.n:
+        signer = signature.signer
+        if not 0 <= signer < self.n:
             return False
-        return self._verifying_keys[signature.signer].verify(message, signature)
+        if not KeyRegistry.memoize:
+            return self._verifying_keys[signer].verify(message, signature)
+        key = (signer, message, signature.value)
+        result = self._verify_memo.get(key)
+        if result is None:
+            result = self._verifying_keys[signer].verify(message, signature)
+            if len(self._verify_memo) >= self._MEMO_LIMIT:
+                self._verify_memo.clear()
+            self._verify_memo[key] = result
+        return result
 
     def verify_quorum(
         self, message: bytes, signatures: Iterable[Signature], quorum: int

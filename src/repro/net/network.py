@@ -20,7 +20,9 @@ scale with the paper's ~450 KB blocks.
 
 from __future__ import annotations
 
+import math
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.net.simulator import Simulator
@@ -41,28 +43,80 @@ _HEADER_SIZE = 64
 def _vote_wire_size(vote) -> int:
     """Plain vote size plus the strong-vote extras (marker/intervals)."""
     size = _VOTE_SIZE
-    if getattr(vote, "intervals", ()):
-        size += 16 * len(vote.intervals)
+    intervals = vote.intervals  # () on plain votes (class attribute)
+    if intervals:
+        size += 16 * len(intervals)
     elif hasattr(vote, "marker"):
         size += 8  # the single marker integer (Figure 4)
     return size
 
 
-def wire_size_bytes(message) -> int:
-    """Estimate the serialized size of a protocol message."""
-    if isinstance(message, ProposalMsg):
-        return _HEADER_SIZE + message.block.payload.size_bytes() + 2_000
-    if isinstance(message, VoteMsg):
-        return _vote_wire_size(message.vote)
-    if isinstance(message, TimeoutMsg):
-        return _TIMEOUT_SIZE
-    if isinstance(message, ExtraVotesMsg):
+def _proposal_size(message) -> int:
+    return _HEADER_SIZE + message.block.payload.size_bytes() + 2_000
+
+
+def _vote_msg_size(message) -> int:
+    return _vote_wire_size(message.vote)
+
+
+def _timeout_size(message) -> int:
+    del message
+    return _TIMEOUT_SIZE
+
+
+def _extra_votes_size(message) -> int:
+    if message.votes:
         return _HEADER_SIZE + sum(
             _vote_wire_size(vote) for vote in message.votes
-        ) if message.votes else _HEADER_SIZE + _VOTE_SIZE
-    if isinstance(message, EchoMsg):
-        return _HEADER_SIZE + wire_size_bytes(message.inner)
+        )
+    return _HEADER_SIZE + _VOTE_SIZE
+
+
+def _echo_size(message) -> int:
+    return _HEADER_SIZE + wire_size_bytes(message.inner)
+
+
+def _default_size(message) -> int:
+    del message
     return _HEADER_SIZE
+
+
+#: Concrete type → size estimator.  Unknown types (message subclasses,
+#: test stubs) resolve through :func:`_resolve_sizer` exactly once.
+_WIRE_SIZERS: dict = {
+    ProposalMsg: _proposal_size,
+    VoteMsg: _vote_msg_size,
+    TimeoutMsg: _timeout_size,
+    ExtraVotesMsg: _extra_votes_size,
+    EchoMsg: _echo_size,
+}
+
+#: Resolution order for subclasses — mirrors the old isinstance chain.
+_MESSAGE_BASES = (ProposalMsg, VoteMsg, TimeoutMsg, ExtraVotesMsg, EchoMsg)
+
+
+def _resolve_sizer(message_type):
+    """Find (and memoize) the sizer for a not-yet-seen message type."""
+    sizer = _default_size
+    for base in _MESSAGE_BASES:
+        if issubclass(message_type, base):
+            sizer = _WIRE_SIZERS[base]
+            break
+    _WIRE_SIZERS[message_type] = sizer
+    return sizer
+
+
+def wire_size_bytes(message) -> int:
+    """Estimate the serialized size of a protocol message.
+
+    Dispatch is a single dict lookup on the concrete type instead of
+    an isinstance chain — ``Network.send`` calls this once per message.
+    """
+    message_type = type(message)
+    sizer = _WIRE_SIZERS.get(message_type)
+    if sizer is None:
+        sizer = _resolve_sizer(message_type)
+    return sizer(message)
 
 
 @dataclass(slots=True)
@@ -120,10 +174,11 @@ class Network:
         self._handlers: dict[int, object] = {}
         self._uplink_busy_until: dict[int, float] = {}
         self._partitions: list[_Partition] = []
+        self._partitions_min_end = math.inf
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
-        self.sent_by_type: dict[str, int] = {}
+        self.sent_by_type: Counter = Counter()
         self.dropped_to_unregistered = 0
 
     # ------------------------------------------------------------------
@@ -148,6 +203,7 @@ class Network:
         self._partitions.append(
             _Partition(tuple(tuple(group) for group in groups), start, end)
         )
+        self._partitions_min_end = min(self._partitions_min_end, end)
 
     # ------------------------------------------------------------------
     # sending
@@ -159,12 +215,13 @@ class Network:
         size = wire_size_bytes(message)
         self.messages_sent += 1
         self.bytes_sent += size
-        type_name = type(message).__name__
-        self.sent_by_type[type_name] = self.sent_by_type.get(type_name, 0) + 1
+        self.sent_by_type[type(message).__name__] += 1
 
         depart = now + self._serialization_delay(src, size)
         arrival = depart + self._link_delay(src, dst, depart)
-        self.simulator.schedule_at(arrival, self._deliver, src, dst, message)
+        # Deliveries are never cancelled: the fire-and-forget fast path
+        # skips allocating a TimerHandle per message.
+        self.simulator.schedule_fire(arrival, self._deliver, src, dst, message)
 
     def multicast(self, src: int, message, include_self: bool = False) -> None:
         """Send ``message`` to every replica (optionally including ``src``).
@@ -203,6 +260,11 @@ class Network:
             base += self._rng.uniform(0.0, self.config.jitter)
         arrival = depart + base
         # Partitions: hold cross-group traffic until the heal time.
+        # Healed partitions (end <= now <= every future depart) can
+        # never separate another message — prune them so partition-heavy
+        # runs stop paying an O(partitions) scan per message.
+        if self._partitions and self.simulator.now >= self._partitions_min_end:
+            self._prune_partitions(self.simulator.now)
         for partition in self._partitions:
             if partition.start <= depart < partition.end and partition.separates(
                 src, dst
@@ -214,6 +276,15 @@ class Network:
             arrival = max(arrival + self.config.pre_gst_delay, self.config.gst)
         return arrival - depart
 
+    def _prune_partitions(self, now: float) -> None:
+        """Drop healed partitions; every future depart is >= ``now``."""
+        self._partitions = [
+            partition for partition in self._partitions if partition.end > now
+        ]
+        self._partitions_min_end = min(
+            (partition.end for partition in self._partitions), default=math.inf
+        )
+
     def _deliver(self, src: int, dst: int, message) -> None:
         handler = self._handlers.get(dst)
         if handler is None:
@@ -221,8 +292,9 @@ class Network:
             return
         self.messages_delivered += 1
         if self.config.processing_delay > 0:
-            self.simulator.schedule_in(
-                self.config.processing_delay, handler.deliver, src, message
+            self.simulator.schedule_fire(
+                self.simulator.now + self.config.processing_delay,
+                handler.deliver, src, message,
             )
         else:
             handler.deliver(src, message)
@@ -235,7 +307,7 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
-        self.sent_by_type = {}
+        self.sent_by_type = Counter()
 
     def stats(self) -> dict:
         return {

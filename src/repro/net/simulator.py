@@ -38,6 +38,16 @@ class TimerHandle:
             self._simulator._note_cancellation()
 
 
+#: Shared handle for fire-and-forget events (network deliveries).  It
+#: is never cancelled and never reports back to a simulator, so one
+#: immortal instance serves every :meth:`Simulator.schedule_fire` entry
+#: — the per-message TimerHandle allocation disappears from the hot
+#: path.  Heap entries keep the exact ``(time, seq, handle, callback,
+#: args)`` tuple layout, and ``(time, seq)`` stays a unique sort key,
+#: so event order is byte-identical to cancellable scheduling.
+_FIRE_HANDLE = TimerHandle(0.0)
+
+
 class Simulator:
     """Event loop over simulated time."""
 
@@ -56,6 +66,18 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
         return handle
+
+    def schedule_fire(self, time: float, callback, *args) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancellation handle.
+
+        For events that are never cancelled (message deliveries); skips
+        the per-event TimerHandle allocation while preserving the
+        identical ``(time, seq)`` ordering.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, _FIRE_HANDLE, callback, args))
 
     def schedule_in(self, delay: float, callback, *args) -> TimerHandle:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
@@ -97,9 +119,13 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
-        while self._queue:
-            time, _seq, handle, callback, args = self._pop()
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time, _seq, handle, callback, args = pop(queue)
+            handle._queued = False
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             self.events_processed += 1

@@ -1,0 +1,50 @@
+"""Performance tracking: macro-benchmarks and ``BENCH_*.json`` reports.
+
+The standing perf loop (see ROADMAP): ``repro bench run`` executes the
+benchmark suite through the campaign engine and writes
+``BENCH_<label>.json`` at the repo root; ``repro bench compare`` gates
+changes on a ≤20% events/second regression against a baseline report.
+
+    from repro.perf import SUITES, run_suite, build_report
+
+    results = run_suite(SUITES["smoke"]())
+    report = build_report("local", "smoke", results, repeats=3, workers=1)
+"""
+
+from repro.perf.benchmarks import (
+    BenchmarkCase,
+    SUITES,
+    full_suite,
+    run_suite,
+    smoke_suite,
+    suite_jobs,
+)
+from repro.perf.report import (
+    BenchRegression,
+    DEFAULT_THRESHOLD,
+    bench_path,
+    build_report,
+    compare_benchmarks,
+    format_bench_table,
+    format_comparison,
+    load_bench,
+    save_bench,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "SUITES",
+    "full_suite",
+    "smoke_suite",
+    "suite_jobs",
+    "run_suite",
+    "BenchRegression",
+    "DEFAULT_THRESHOLD",
+    "bench_path",
+    "build_report",
+    "compare_benchmarks",
+    "format_bench_table",
+    "format_comparison",
+    "load_bench",
+    "save_bench",
+]

@@ -1,0 +1,193 @@
+"""Benchmark reports: ``BENCH_<label>.json`` files and the 20% gate.
+
+A bench report is the perf twin of a campaign report: per-benchmark
+events/second and wall clock, plus enough environment detail to judge
+whether two reports are comparable at all.  ``compare_benchmarks``
+flags any benchmark whose events/second dropped more than the
+threshold (default 20%) against a baseline report — the regression
+gate ``repro bench compare`` and CI's ``bench-smoke`` job enforce.
+
+Wall clocks are machine-dependent: a committed baseline is only
+meaningful against runs on comparable hardware, so refresh it
+(``repro bench run --label <label>``) when the reference machine
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default relative slowdown that fails the gate (20%).
+DEFAULT_THRESHOLD = 0.20
+
+
+def build_report(
+    label: str,
+    suite: str,
+    results: list,
+    repeats: int,
+    workers: int,
+) -> dict:
+    """Assemble the JSON-serializable bench report."""
+    total_wall = sum(entry["wall_clock_s"] for entry in results)
+    total_events = sum(entry["events"] for entry in results)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "suite": suite,
+        "repeats": repeats,
+        "workers": workers,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "benchmarks": results,
+        "summary": {
+            "cases": len(results),
+            "total_wall_clock_s": round(total_wall, 6),
+            "total_events": total_events,
+            "overall_events_per_sec": (
+                round(total_events / total_wall, 3) if total_wall > 0 else None
+            ),
+        },
+    }
+
+
+def bench_path(label: str, root=".") -> Path:
+    """The conventional report location: ``BENCH_<label>.json`` at the root."""
+    return Path(root) / f"BENCH_{label}.json"
+
+
+def save_bench(report: dict, path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+@dataclass(slots=True)
+class BenchRegression:
+    """One benchmark that fell past the slowdown threshold."""
+
+    name: str
+    metric: str
+    current: float | None
+    baseline: float | None
+    limit: float | None
+
+    def describe(self) -> str:
+        def show(value):
+            return "—" if value is None else f"{value:g}"
+
+        return (
+            f"{self.name}: {self.metric} {show(self.current)} "
+            f"vs baseline {show(self.baseline)} (floor {show(self.limit)})"
+        )
+
+
+def _by_name(report: dict) -> dict:
+    return {entry["name"]: entry for entry in report.get("benchmarks", ())}
+
+
+def compare_benchmarks(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list:
+    """Regressions of ``current`` against ``baseline``.
+
+    A benchmark regresses when its events/second falls below
+    ``baseline × (1 - threshold)``; a benchmark present in the baseline
+    but missing from the current report is a regression too (a shrunk
+    suite must be deliberate).  A baseline without benchmarks raises —
+    a gate comparing against nothing must fail loudly, not pass.
+    """
+    baseline_entries = _by_name(baseline)
+    if not baseline_entries:
+        raise ValueError(
+            "baseline report contains no benchmarks "
+            "(wrong file, or not a BENCH_*.json?)"
+        )
+    regressions = []
+    current_entries = _by_name(current)
+    for name, base_entry in baseline_entries.items():
+        entry = current_entries.get(name)
+        if entry is None:
+            regressions.append(
+                BenchRegression(name, "missing-benchmark", None, None, None)
+            )
+            continue
+        rate = entry.get("events_per_sec")
+        base_rate = base_entry.get("events_per_sec")
+        if rate is None or base_rate is None:
+            continue
+        floor = base_rate * (1.0 - threshold)
+        if rate < floor:
+            regressions.append(
+                BenchRegression(
+                    name, "events_per_sec", rate, base_rate, round(floor, 3)
+                )
+            )
+    return regressions
+
+
+def format_bench_table(report: dict) -> str:
+    """Human-readable results table for one bench report."""
+    header = (
+        f"{'benchmark':<22}{'n':>5}{'events':>10}{'commits':>9}"
+        f"{'wall (s)':>10}{'events/s':>12}{'sim ratio':>11}"
+    )
+    lines = [f"bench {report['label']} (suite={report['suite']}, "
+             f"repeats={report['repeats']})", header, "-" * len(header)]
+    for entry in report.get("benchmarks", ()):
+        rate = entry.get("events_per_sec")
+        ratio = entry.get("sim_ratio")
+        lines.append(
+            f"{entry['name']:<22}{entry['n']:>5}{entry['events']:>10}"
+            f"{entry['commits']:>9}{entry['wall_clock_s']:>10.3f}"
+            f"{(f'{rate:,.0f}' if rate is not None else '—'):>12}"
+            f"{(f'{ratio:.1f}x' if ratio is not None else '—'):>11}"
+        )
+    summary = report.get("summary", {})
+    overall = summary.get("overall_events_per_sec")
+    lines.append(
+        f"\ntotal: {summary.get('total_wall_clock_s')}s wall, "
+        f"{summary.get('total_events')} events"
+        + (f", {overall:,.0f} events/s overall" if overall else "")
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(current: dict, baseline: dict) -> str:
+    """Per-benchmark speedup table of ``current`` over ``baseline``."""
+    header = (
+        f"{'benchmark':<22}{'baseline ev/s':>15}{'current ev/s':>15}"
+        f"{'speedup':>9}"
+    )
+    lines = [
+        f"{current.get('label', '?')} vs {baseline.get('label', '?')}",
+        header,
+        "-" * len(header),
+    ]
+    current_entries = _by_name(current)
+    for name, base_entry in _by_name(baseline).items():
+        entry = current_entries.get(name)
+        base_rate = base_entry.get("events_per_sec")
+        rate = entry.get("events_per_sec") if entry else None
+        if rate is None or base_rate is None or base_rate == 0:
+            speedup = "—"
+        else:
+            speedup = f"{rate / base_rate:.2f}x"
+        lines.append(
+            f"{name:<22}"
+            f"{(f'{base_rate:,.0f}' if base_rate is not None else '—'):>15}"
+            f"{(f'{rate:,.0f}' if rate is not None else '—'):>15}"
+            f"{speedup:>9}"
+        )
+    return "\n".join(lines)

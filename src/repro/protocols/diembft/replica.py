@@ -26,6 +26,8 @@ vote handling.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.commit_rules import CommitTracker
 from repro.protocols.base import BaseReplica, ReplicaConfig, ReplicaContext
 from repro.protocols.pacemaker import Pacemaker, PacemakerConfig
@@ -101,14 +103,7 @@ class DiemBFTReplica(BaseReplica):
     def _sign_vote(self, vote):
         signature = self.context.signing_key.sign(vote.signing_payload())
         # Frozen dataclasses: rebuild with the signature attached.
-        return type(vote)(
-            **{
-                field: getattr(vote, field)
-                for field in vote.__dataclass_fields__
-                if field != "signature"
-            },
-            signature=signature,
-        )
+        return replace(vote, signature=signature)
 
     def _after_vote(self, block: Block) -> None:
         """Hook: called after this replica votes for ``block``."""
@@ -170,13 +165,7 @@ class DiemBFTReplica(BaseReplica):
             sender=self.replica_id, round=round_number, block=block, tc=tc
         )
         signature = self.context.signing_key.sign(proposal.signing_payload())
-        proposal = ProposalMsg(
-            sender=proposal.sender,
-            round=proposal.round,
-            block=proposal.block,
-            tc=proposal.tc,
-            signature=signature,
-        )
+        proposal = replace(proposal, signature=signature)
         self.blocks_proposed += 1
         self.context.multicast(proposal, include_self=True)
 
@@ -189,12 +178,7 @@ class DiemBFTReplica(BaseReplica):
             qc_high=self.qc_high,
         )
         signature = self.context.signing_key.sign(timeout.signing_payload())
-        timeout = TimeoutMsg(
-            sender=timeout.sender,
-            round=timeout.round,
-            qc_high=timeout.qc_high,
-            signature=signature,
-        )
+        timeout = replace(timeout, signature=signature)
         self.timeouts_sent += 1
         self.context.multicast(timeout, include_self=True)
 

@@ -19,7 +19,7 @@ Streamlet trades performance for simplicity:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.commit_rules import CommitTracker
 from repro.protocols.base import BaseReplica, ReplicaConfig, ReplicaContext
@@ -82,14 +82,7 @@ class StreamletReplica(BaseReplica):
 
     def _sign_vote(self, vote):
         signature = self.context.signing_key.sign(vote.signing_payload())
-        return type(vote)(
-            **{
-                field: getattr(vote, field)
-                for field in vote.__dataclass_fields__
-                if field != "signature"
-            },
-            signature=signature,
-        )
+        return replace(vote, signature=signature)
 
     def _after_vote(self, block: Block) -> None:
         """Hook: called after voting for ``block``."""
@@ -155,12 +148,7 @@ class StreamletReplica(BaseReplica):
             sender=self.replica_id, round=round_number, block=block
         )
         signature = self.context.signing_key.sign(proposal.signing_payload())
-        return ProposalMsg(
-            sender=proposal.sender,
-            round=proposal.round,
-            block=proposal.block,
-            signature=signature,
-        )
+        return replace(proposal, signature=signature)
 
     def _choose_parent(self) -> Block:
         """Tip of the longest certified chain (deterministic tiebreak)."""

@@ -140,6 +140,10 @@ class BlockStore:
     def children(self, block_id: BlockId) -> tuple:
         return tuple(self._children.get(block_id, ()))
 
+    def iter_children(self, block_id: BlockId):
+        """Child ids without the defensive copy (read-only callers)."""
+        return self._children.get(block_id, ())
+
     def blocks_at_round(self, round_number: int) -> tuple:
         return tuple(self._by_round.get(round_number, ()))
 

@@ -8,7 +8,7 @@ whole).  The Streamlet echo mechanism re-wraps messages in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.serialization import canonical_bytes
 from repro.crypto.signatures import Signature
@@ -37,11 +37,20 @@ class ProposalMsg(Message):
     block: Block
     tc: TimeoutCertificate | None = None
     signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def signing_payload(self) -> bytes:
-        return canonical_bytes(
+        """Signed bytes, computed once — all ``n`` receivers share them."""
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes(
             "proposal", self.round, self.block.id().value, self.sender
         )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,9 +67,17 @@ class TimeoutMsg(Message):
     round: int
     qc_high: QuorumCertificate
     signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def signing_payload(self) -> bytes:
-        return canonical_bytes("timeout", self.round, self.sender)
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes("timeout", self.round, self.sender)
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
 
 
 @dataclass(frozen=True, slots=True)

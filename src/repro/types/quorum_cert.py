@@ -32,6 +32,9 @@ class QuorumCertificate:
     round: int
     height: int
     votes: tuple = field(default_factory=tuple)
+    _validate_memo: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def voters(self) -> frozenset:
         """The set of distinct replica ids that signed this QC."""
@@ -58,9 +61,26 @@ class QuorumCertificate:
         name this certificate's block and round, be signed by its
         claimed voter, and the distinct-voter count must reach
         ``quorum``.
+
+        Validation is pure, so the verdict is memoized per certificate
+        object: a QC object is shared by reference across the cluster,
+        making re-validation by every receiving replica O(1) after
+        first sight.  The memo is keyed on the exact ``(registry,
+        quorum)`` pair and disabled alongside
+        :attr:`KeyRegistry.memoize`.
         """
         if self.is_genesis():
             return True
+        if KeyRegistry.memoize:
+            memo = self._validate_memo
+            if memo is not None and memo[0] is registry and memo[1] == quorum:
+                return memo[2]
+            result = self._validate_uncached(registry, quorum)
+            object.__setattr__(self, "_validate_memo", (registry, quorum, result))
+            return result
+        return self._validate_uncached(registry, quorum)
+
+    def _validate_uncached(self, registry: KeyRegistry, quorum: int) -> bool:
         seen = set()
         for vote in self.votes:
             if vote.block_id != self.block_id or vote.block_round != self.round:

@@ -10,7 +10,7 @@ baseline protocols.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.hashing import HashDigest
 from repro.crypto.serialization import canonical_bytes
@@ -31,12 +31,25 @@ class Vote:
     height: int
     voter: int
     signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # Plain votes carry no interval set; exposing the empty tuple as a
+    # class attribute lets hot paths (wire sizing, endorsement
+    # ingestion) read ``vote.intervals`` without a getattr probe.
+    intervals = ()
 
     def signing_payload(self) -> bytes:
-        """Bytes covered by the vote signature."""
-        return canonical_bytes(
+        """Bytes covered by the vote signature (computed once, cached)."""
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes(
             "vote", self.block_id.value, self.block_round, self.height, self.voter
         )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
 
     def conflicts_marker(self) -> int:
         """Marker accessor; plain votes behave like marker ``0``.
@@ -67,10 +80,22 @@ class StrongVote:
     marker: int = 0
     intervals: tuple = ()
     signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def signing_payload(self) -> bytes:
-        """Bytes covered by the strong-vote signature."""
-        return canonical_bytes(
+        """Bytes covered by the strong-vote signature (cached).
+
+        A vote object is shared by reference across every replica of a
+        simulated cluster, so the canonical encoding — recomputed on
+        every sign *and* every verify before — is now paid once per
+        process.
+        """
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes(
             "strong-vote",
             self.block_id.value,
             self.block_round,
@@ -79,6 +104,8 @@ class StrongVote:
             self.marker,
             tuple(self.intervals),
         )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
 
     def conflicts_marker(self) -> int:
         return self.marker

@@ -1,0 +1,99 @@
+"""Differential determinism: caching must never change results.
+
+The crypto memo layer (payload caches, registry verification memo,
+QC validation memo) and the commit-rule early exits are pure-function
+caches: for any seeded run they must produce *byte-identical*
+deterministic metrics to the uncached implementation, in the exact
+same event order.  These tests run the same seeded scenarios with
+``KeyRegistry.memoize`` on and off and diff the full metrics section —
+the strongest cheap check that the hot-path overhaul changed cost, not
+behaviour.
+"""
+
+import json
+
+import pytest
+
+from repro.crypto.registry import KeyRegistry
+from repro.experiments.campaign import Job
+from repro.experiments.runner import run_job
+from repro.experiments.spec import FaultMix, PartitionWindow, ScenarioSpec
+
+
+def deterministic_metrics(spec, seed):
+    entry = run_job(Job(job_id="diff", spec=spec, seed=seed, params={}))
+    return entry["metrics"]
+
+
+def run_both_ways(spec, seed, monkeypatch):
+    monkeypatch.setattr(KeyRegistry, "memoize", True)
+    cached = deterministic_metrics(spec, seed)
+    monkeypatch.setattr(KeyRegistry, "memoize", False)
+    uncached = deterministic_metrics(spec, seed)
+    return cached, uncached
+
+
+SCENARIOS = {
+    "verify-heavy": ScenarioSpec(
+        name="diff-verify",
+        protocol="sft-diembft",
+        n=7,
+        topology="uniform",
+        round_timeout=0.3,
+        verify_signatures=True,
+        duration=4.0,
+        seeds=(11,),
+        block_batch_count=5,
+        block_batch_bytes=500,
+    ),
+    "faults-partitions": ScenarioSpec(
+        name="diff-faults",
+        protocol="sft-diembft",
+        n=7,
+        topology="uniform",
+        round_timeout=0.3,
+        verify_signatures=True,
+        duration=5.0,
+        seeds=(5,),
+        faults=FaultMix(crash=1, crash_at=1.0, equivocate=1),
+        partitions=(PartitionWindow(start=1.0, end=2.0, split=0.5),),
+        block_batch_count=5,
+        block_batch_bytes=500,
+    ),
+    "streamlet": ScenarioSpec(
+        name="diff-streamlet",
+        protocol="sft-streamlet",
+        n=4,
+        topology="uniform",
+        round_timeout=0.3,
+        verify_signatures=True,
+        duration=3.0,
+        seeds=(2,),
+        block_batch_count=5,
+        block_batch_bytes=500,
+    ),
+}
+
+
+class TestDifferentialDeterminism:
+    @pytest.mark.parametrize("label", sorted(SCENARIOS))
+    def test_memoization_changes_nothing(self, label, monkeypatch):
+        spec = SCENARIOS[label]
+        cached, uncached = run_both_ways(spec, spec.seeds[0], monkeypatch)
+        assert json.dumps(cached, sort_keys=True) == json.dumps(
+            uncached, sort_keys=True
+        )
+
+    def test_same_seed_same_metrics_across_runs(self):
+        spec = SCENARIOS["verify-heavy"]
+        first = deterministic_metrics(spec, 11)
+        second = deterministic_metrics(spec, 11)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_event_count_exposed_and_stable(self):
+        spec = SCENARIOS["verify-heavy"]
+        metrics = deterministic_metrics(spec, 11)
+        assert metrics["events"] > 0
+        assert metrics["events"] == deterministic_metrics(spec, 11)["events"]

@@ -1,0 +1,173 @@
+"""Simulator heap compaction and TimerHandle accounting under churn.
+
+A random interleaving of schedule / schedule_fire / cancel /
+run-forward operations is mirrored against a trivial reference model
+(a list of ``(time, seq)`` records).  Throughout the run:
+
+* ``pending()`` is exact — queue length minus cancelled count always
+  equals the model's live-event count (no cancelled-entry leak in the
+  accounting);
+* right after any cancellation, compaction keeps cancelled entries a
+  minority of the heap;
+* the executed event order matches the model's ``(time, seq)`` order
+  exactly — cancellation and compaction never perturb scheduling.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.simulator import Simulator
+
+
+class ChurnModel:
+    """Reference bookkeeping for one churn run."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.simulator = Simulator()
+        self.fired: list[int] = []
+        self.records: dict[int, tuple] = {}  # key -> (time, seq)
+        self.handles: dict[int, object] = {}  # cancellable, not yet fired
+        self.fire_only: set[int] = set()  # scheduled via schedule_fire
+        self.cancelled: set[int] = set()
+        self.next_key = 0
+        self.seq = 0
+
+    # -- operations ----------------------------------------------------
+
+    def schedule(self, cancellable: bool) -> None:
+        key = self.next_key
+        self.next_key += 1
+        self.seq += 1
+        time = self.simulator.now + self.rng.uniform(0.0, 10.0)
+        self.records[key] = (time, self.seq)
+        if cancellable:
+            self.handles[key] = self.simulator.schedule_at(
+                time, self.fired.append, key
+            )
+        else:
+            self.fire_only.add(key)
+            self.simulator.schedule_fire(time, self.fired.append, key)
+
+    def cancel_one(self) -> bool:
+        candidates = [
+            key for key in self.handles
+            if key not in self.cancelled and key not in set(self.fired)
+        ]
+        if not candidates:
+            return False
+        key = self.rng.choice(candidates)
+        self.handles[key].cancel()
+        self.cancelled.add(key)
+        return True
+
+    def cancel_fired(self) -> None:
+        """Cancelling an already-fired handle must be a no-op."""
+        candidates = [key for key in self.fired if key in self.handles]
+        if candidates:
+            self.handles[self.rng.choice(candidates)].cancel()
+
+    def advance(self) -> None:
+        self.simulator.run_until(
+            self.simulator.now + self.rng.uniform(0.0, 4.0)
+        )
+
+    # -- invariants ----------------------------------------------------
+
+    def live_keys(self) -> set:
+        fired = set(self.fired)
+        return {
+            key for key in self.records
+            if key not in fired and key not in self.cancelled
+        }
+
+    def assert_pending_exact(self) -> None:
+        expected = len(self.live_keys())
+        assert self.simulator.pending() == expected
+        queue = self.simulator._queue
+        assert len(queue) - self.simulator._cancelled == expected
+
+    def assert_compacted(self) -> None:
+        # _note_cancellation compacts once cancelled entries outnumber
+        # live ones, so right after an actual cancellation they are a
+        # minority.  (Pops of live events can temporarily skew the
+        # ratio between cancellations; the next cancel restores it.)
+        queue_len = len(self.simulator._queue)
+        assert self.simulator._cancelled * 2 <= queue_len or queue_len == 0
+
+    def expected_order(self) -> list:
+        return [
+            key for key, _ in sorted(
+                (
+                    (key, self.records[key])
+                    for key in self.records
+                    if key not in self.cancelled
+                ),
+                key=lambda item: item[1],
+            )
+        ]
+
+    def drain(self) -> None:
+        self.simulator.run_until(self.simulator.now + 100.0)
+
+
+def run_churn(seed: int, steps: int = 400) -> ChurnModel:
+    model = ChurnModel(seed)
+    for _ in range(steps):
+        op = model.rng.random()
+        if op < 0.40:
+            model.schedule(cancellable=True)
+        elif op < 0.55:
+            model.schedule(cancellable=False)
+        elif op < 0.80:
+            if model.cancel_one():
+                model.assert_compacted()
+        elif op < 0.85:
+            model.cancel_fired()
+        else:
+            model.advance()
+        model.assert_pending_exact()
+    model.drain()
+    return model
+
+
+class TestChurnProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_event_order_and_accounting_under_churn(self, seed):
+        model = run_churn(seed)
+        assert model.fired == model.expected_order()
+        assert model.simulator.pending() == 0
+        assert model.simulator._queue == []
+        assert model.simulator._cancelled == 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_seeds_preserve_order(self, seed):
+        model = run_churn(seed, steps=120)
+        assert model.fired == model.expected_order()
+
+    def test_cancelled_majority_compacts_during_churn(self):
+        simulator = Simulator()
+        fired = []
+        for round_number in range(1, 3000):
+            handle = simulator.schedule_at(
+                float(round_number), fired.append, round_number
+            )
+            # Mix in fire-and-forget deliveries like the network does.
+            simulator.schedule_fire(
+                float(round_number) + 0.5, fired.append, -round_number
+            )
+            handle.cancel()
+            # One live fire entry per iteration stays; cancelled
+            # cancellable entries never accumulate past the live count.
+            assert simulator._cancelled * 2 <= len(simulator._queue)
+        assert simulator.pending() == 2999
+        simulator.run_until(10_000.0)
+        assert fired == [-round_number for round_number in range(1, 3000)]
+
+    def test_events_processed_counts_live_events_only(self):
+        model = run_churn(3, steps=200)
+        assert model.simulator.events_processed == len(model.fired)

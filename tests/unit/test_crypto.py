@@ -98,3 +98,55 @@ class TestKeyRegistry:
     def test_zero_replicas_rejected(self):
         with pytest.raises(ValueError):
             KeyRegistry(0)
+
+
+class TestHashCaching:
+    def test_cached_hash_matches_dataclass_hash(self):
+        # Iteration order of digest-keyed sets must not move: the
+        # cached value must equal the generated hash((value,)).
+        digest = hash_bytes(b"stable")
+        assert hash(digest) == hash((digest.value,))
+        assert hash(digest) == hash(digest)  # second call hits the cache
+
+    def test_equal_digests_share_hash_and_equality(self):
+        digest_a = hash_bytes(b"same")
+        digest_b = hash_bytes(b"same")
+        hash(digest_a)  # warm one cache only
+        assert digest_a == digest_b
+        assert hash(digest_a) == hash(digest_b)
+
+
+class TestVerificationMemo:
+    def test_memo_returns_same_verdicts(self):
+        registry = KeyRegistry(4)
+        message = b"payload"
+        good = registry.signing_key(1).sign(message)
+        forged = Signature(signer=1, value=b"\x00" * 32)
+        for _ in range(3):  # repeated calls answer from the memo
+            assert registry.verify(message, good)
+            assert not registry.verify(message, forged)
+        assert len(registry._verify_memo) == 2
+
+    def test_memo_distinguishes_signers_and_payloads(self):
+        registry = KeyRegistry(4)
+        signature = registry.signing_key(1).sign(b"a")
+        assert registry.verify(b"a", signature)
+        assert not registry.verify(b"b", signature)
+        cross = Signature(signer=2, value=signature.value)
+        assert not registry.verify(b"a", cross)
+
+    def test_memo_disabled_still_verifies(self, monkeypatch):
+        monkeypatch.setattr(KeyRegistry, "memoize", False)
+        registry = KeyRegistry(4)
+        message = b"payload"
+        signature = registry.signing_key(0).sign(message)
+        assert registry.verify(message, signature)
+        assert registry._verify_memo == {}
+
+    def test_memo_limit_clears_not_grows(self, monkeypatch):
+        monkeypatch.setattr(KeyRegistry, "_MEMO_LIMIT", 4)
+        registry = KeyRegistry(4)
+        for index in range(10):
+            message = b"m%d" % index
+            registry.verify(message, registry.signing_key(0).sign(message))
+        assert len(registry._verify_memo) <= 4

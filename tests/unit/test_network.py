@@ -212,3 +212,85 @@ class TestWireSizes:
         network.reset_counters()
         assert network.stats()["sent"] == 0
         del genesis
+
+
+class TestPartitionPruning:
+    def test_healed_partitions_are_pruned(self):
+        simulator, network, recorders = make_network()
+        network.add_partition([(0,), (1, 2)], start=0.0, end=1.0)
+        network.add_partition([(0, 1), (2,)], start=0.5, end=2.0)
+        assert len(network._partitions) == 2
+        simulator.run_until(1.2)
+        network.send(0, 1, "after-first-heal")  # triggers the prune
+        assert len(network._partitions) == 1
+        assert network._partitions[0].end == 2.0
+        simulator.run_until(2.5)
+        network.send(0, 2, "after-all-heals")
+        assert network._partitions == []
+        assert network._partitions_min_end == float("inf")
+
+    def test_pruning_preserves_delivery_times(self):
+        def run(extra_dead_partitions):
+            simulator, network, recorders = make_network(jitter=0.003, seed=9)
+            # Early partitions that heal before the traffic we time.
+            for index in range(extra_dead_partitions):
+                network.add_partition(
+                    [(0,), (1, 2)], start=0.0, end=0.1 + index * 0.01
+                )
+            network.add_partition([(0,), (1, 2)], start=1.0, end=2.0)
+            simulator.schedule_at(0.5, network.send, 0, 1, "mid")
+            simulator.schedule_at(1.5, network.send, 0, 1, "held")
+            simulator.schedule_at(2.5, network.send, 0, 1, "late")
+            simulator.run_until(5.0)
+            return [stamp for stamp, _, _ in recorders[1].received]
+
+        assert run(0) == run(8)
+
+    def test_active_partition_still_separates_after_prune(self):
+        simulator, network, recorders = make_network()
+        network.add_partition([(0,), (1, 2)], start=0.0, end=0.5)
+        network.add_partition([(0,), (1, 2)], start=1.0, end=3.0)
+        simulator.run_until(0.7)
+        network.send(0, 1, "between-windows")  # prunes the healed window
+        simulator.schedule_at(1.2, network.send, 0, 1, "held")
+        simulator.run_until(5.0)
+        stamps = [stamp for stamp, _, _ in recorders[1].received]
+        assert abs(stamps[0] - 0.71) < 1e-9
+        assert stamps[1] >= 3.0
+
+
+class TestWireSizeDispatch:
+    def test_unknown_types_get_header_size_and_are_memoized(self):
+        from repro.net.network import _HEADER_SIZE, _WIRE_SIZERS
+
+        class Oddball:
+            pass
+
+        assert wire_size_bytes(Oddball()) == _HEADER_SIZE
+        assert Oddball in _WIRE_SIZERS
+
+    def test_message_subclasses_resolve_like_isinstance(self):
+        from dataclasses import dataclass
+
+        from repro.net.network import _TIMEOUT_SIZE
+        from repro.types.quorum_cert import QuorumCertificate
+
+        @dataclass(frozen=True)
+        class FancyTimeout(TimeoutMsg):
+            pass
+
+        genesis, genesis_qc = make_genesis()
+        del genesis
+        message = FancyTimeout(sender=0, round=1, qc_high=genesis_qc)
+        assert wire_size_bytes(message) == _TIMEOUT_SIZE
+        assert isinstance(genesis_qc, QuorumCertificate)
+
+    def test_counter_stats_by_type(self):
+        simulator, network, recorders = make_network()
+        del simulator, recorders
+        network.send(0, 1, "a")
+        network.send(0, 2, "b")
+        stats = network.stats()
+        assert stats["by_type"] == {"str": 2}
+        network.reset_counters()
+        assert network.stats()["by_type"] == {}

@@ -1,0 +1,244 @@
+"""The perf subsystem: suites, reports, and the 20% regression gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.spec import ScenarioSpec
+from repro.perf import (
+    BenchmarkCase,
+    SUITES,
+    bench_path,
+    build_report,
+    compare_benchmarks,
+    format_bench_table,
+    format_comparison,
+    full_suite,
+    load_bench,
+    run_suite,
+    save_bench,
+    smoke_suite,
+    suite_jobs,
+)
+
+
+def tiny_case(name="tiny", seed=1, duration=0.8):
+    return BenchmarkCase(
+        name=name,
+        category="happy",
+        description="tiny happy-path case for tests",
+        spec=ScenarioSpec(
+            name=name,
+            protocol="sft-diembft",
+            n=4,
+            topology="uniform",
+            round_timeout=0.2,
+            duration=duration,
+            seeds=(seed,),
+            block_batch_count=2,
+            block_batch_bytes=100,
+        ),
+        seed=seed,
+    )
+
+
+def fake_entry(name, events=1000, rate=100.0):
+    return {
+        "name": name,
+        "category": "happy",
+        "description": name,
+        "protocol": "sft-diembft",
+        "n": 4,
+        "sim_duration_s": 1.0,
+        "seed": 1,
+        "events": events,
+        "commits": 10,
+        "messages_sent": 50,
+        "wall_clock_s": events / rate,
+        "wall_clock_runs": [events / rate],
+        "events_per_sec": rate,
+        "sim_ratio": 1.0,
+    }
+
+
+def fake_report(label, rates):
+    return build_report(
+        label,
+        "smoke",
+        [fake_entry(name, rate=rate) for name, rate in rates.items()],
+        repeats=1,
+        workers=1,
+    )
+
+
+class TestSuites:
+    def test_suite_registry(self):
+        assert SUITES["full"] is full_suite
+        assert SUITES["smoke"] is smoke_suite
+
+    @pytest.mark.parametrize("factory", [full_suite, smoke_suite])
+    def test_suites_are_well_formed(self, factory):
+        cases = factory()
+        assert cases
+        names = [case.name for case in cases]
+        assert len(names) == len(set(names)), "benchmark names must be unique"
+        for case in cases:
+            assert case.spec.script == "", "bench cases need an event loop"
+        assert any(case.category == "verify" for case in cases)
+        assert any(case.category == "fuzz" for case in cases)
+
+    def test_full_suite_covers_paper_scales(self):
+        names = {case.name for case in full_suite()}
+        for n in (4, 16, 32, 64):
+            assert f"happy_n{n}" in names
+        assert "verify_heavy_n32" in names
+        verify = next(
+            case for case in full_suite() if case.name == "verify_heavy_n32"
+        )
+        assert verify.spec.verify_signatures
+        assert verify.spec.n == 32
+
+    def test_suite_jobs_shape(self):
+        jobs = suite_jobs([tiny_case()])
+        assert jobs[0].job_id == "bench/tiny"
+        assert jobs[0].params == {"benchmark": "tiny"}
+
+
+class TestRunSuite:
+    def test_run_suite_measures_events(self):
+        results = run_suite([tiny_case()], repeats=2)
+        (entry,) = results
+        assert entry["name"] == "tiny"
+        assert entry["events"] > 0
+        assert entry["commits"] > 0
+        assert len(entry["wall_clock_runs"]) == 2
+        assert entry["wall_clock_s"] == min(entry["wall_clock_runs"])
+        assert entry["events_per_sec"] > 0
+
+    def test_run_suite_repeats_are_deterministic(self):
+        first = run_suite([tiny_case()], repeats=1)[0]
+        second = run_suite([tiny_case()], repeats=1)[0]
+        for key in ("events", "commits", "messages_sent"):
+            assert first[key] == second[key]
+
+
+class TestReport:
+    def test_build_and_roundtrip(self, tmp_path):
+        report = fake_report("x", {"a": 100.0})
+        path = tmp_path / "BENCH_x.json"
+        save_bench(report, path)
+        assert load_bench(path) == report
+        assert json.loads(path.read_text())["label"] == "x"
+
+    def test_bench_path_convention(self, tmp_path):
+        assert bench_path("opt", tmp_path) == tmp_path / "BENCH_opt.json"
+
+    def test_summary_totals(self):
+        report = fake_report("x", {"a": 100.0, "b": 200.0})
+        assert report["summary"]["cases"] == 2
+        assert report["summary"]["total_events"] == 2000
+
+    def test_format_table_mentions_every_case(self):
+        report = fake_report("x", {"alpha": 100.0, "beta": 50.0})
+        table = format_bench_table(report)
+        assert "alpha" in table and "beta" in table
+
+
+class TestCompareGate:
+    def test_no_regression_within_threshold(self):
+        baseline = fake_report("base", {"a": 100.0})
+        current = fake_report("cur", {"a": 85.0})  # -15% < 20% threshold
+        assert compare_benchmarks(current, baseline) == []
+
+    def test_regression_past_threshold(self):
+        baseline = fake_report("base", {"a": 100.0})
+        current = fake_report("cur", {"a": 75.0})  # -25%
+        regressions = compare_benchmarks(current, baseline)
+        assert len(regressions) == 1
+        assert regressions[0].name == "a"
+        assert regressions[0].metric == "events_per_sec"
+        assert "a" in regressions[0].describe()
+
+    def test_missing_benchmark_is_regression(self):
+        baseline = fake_report("base", {"a": 100.0, "b": 100.0})
+        current = fake_report("cur", {"a": 100.0})
+        regressions = compare_benchmarks(current, baseline)
+        assert [r.metric for r in regressions] == ["missing-benchmark"]
+
+    def test_speedup_never_flags(self):
+        baseline = fake_report("base", {"a": 100.0})
+        current = fake_report("cur", {"a": 300.0})
+        assert compare_benchmarks(current, baseline) == []
+
+    def test_threshold_is_tunable(self):
+        baseline = fake_report("base", {"a": 100.0})
+        current = fake_report("cur", {"a": 85.0})
+        assert compare_benchmarks(current, baseline, threshold=0.10)
+
+    def test_format_comparison_shows_speedup(self):
+        baseline = fake_report("base", {"a": 100.0})
+        current = fake_report("cur", {"a": 250.0})
+        text = format_comparison(current, baseline)
+        assert "2.50x" in text
+
+
+class TestCli:
+    def test_bench_run_and_compare_cli(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+        from repro.perf import benchmarks
+
+        monkeypatch.setitem(
+            benchmarks.SUITES, "smoke", lambda: (tiny_case(),)
+        )
+        out = tmp_path / "BENCH_t1.json"
+        code = cli.main([
+            "bench", "run", "--suite", "smoke", "--label", "t1",
+            "--repeats", "1", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        capsys.readouterr()
+
+        # Self-comparison passes the gate…
+        code = cli.main(["bench", "compare", str(out), str(out)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        # …a slowed-down baseline fails it.
+        slow = load_bench(out)
+        for entry in slow["benchmarks"]:
+            entry["events_per_sec"] = entry["events_per_sec"] * 3
+        slow_path = tmp_path / "BENCH_slow.json"
+        save_bench(slow, slow_path)
+        code = cli.main(["bench", "compare", str(out), str(slow_path)])
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_bench_compare_bad_file_exits_2(self, tmp_path, capsys):
+        from repro import cli
+
+        bad = tmp_path / "nope.json"
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["bench", "compare", str(bad), str(bad)])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+
+class TestGateIntegrity:
+    def test_empty_baseline_raises(self):
+        current = fake_report("cur", {"a": 100.0})
+        with pytest.raises(ValueError):
+            compare_benchmarks(current, {"label": "x"})
+        with pytest.raises(ValueError):
+            compare_benchmarks(current, {"benchmarks": []})
+
+    def test_cli_exits_2_on_benchless_baseline(self, tmp_path, capsys):
+        from repro import cli
+
+        good = tmp_path / "BENCH_good.json"
+        save_bench(fake_report("cur", {"a": 100.0}), good)
+        empty = tmp_path / "not-a-bench.json"
+        empty.write_text("{}")
+        code = cli.main(["bench", "compare", str(good), str(empty)])
+        assert code == 2
+        assert "no benchmarks" in capsys.readouterr().err

@@ -262,3 +262,89 @@ class TestTimeoutCertificate:
         assert tc.round == 5
         assert len(tc.timeout_voters) == 3
         assert tc.highest_qc_round == 4
+
+
+class TestPayloadCaching:
+    def test_vote_signing_payload_cached_and_stable(self):
+        genesis, _ = make_genesis()
+        vote = StrongVote(
+            block_id=genesis.id(), block_round=3, height=3, voter=1, marker=2
+        )
+        first = vote.signing_payload()
+        assert vote.signing_payload() is first  # second call hits the cache
+        fresh = StrongVote(
+            block_id=genesis.id(), block_round=3, height=3, voter=1, marker=2
+        )
+        assert fresh.signing_payload() == first
+
+    def test_plain_vote_exposes_empty_intervals(self):
+        genesis, _ = make_genesis()
+        vote = Vote(block_id=genesis.id(), block_round=1, height=1, voter=0)
+        assert vote.intervals == ()
+
+    def test_cache_excluded_from_equality(self):
+        genesis, _ = make_genesis()
+        warm = Vote(block_id=genesis.id(), block_round=1, height=1, voter=0)
+        warm.signing_payload()
+        cold = Vote(block_id=genesis.id(), block_round=1, height=1, voter=0)
+        assert warm == cold
+        assert hash(warm) == hash(cold)
+
+    def test_signed_replacement_keeps_payload(self):
+        from dataclasses import replace
+
+        registry = KeyRegistry(4)
+        genesis, _ = make_genesis()
+        vote = Vote(block_id=genesis.id(), block_round=1, height=1, voter=2)
+        payload = vote.signing_payload()
+        signed = replace(
+            vote, signature=registry.signing_key(2).sign(payload)
+        )
+        assert signed.signing_payload() == payload
+        assert registry.verify(signed.signing_payload(), signed.signature)
+
+
+class TestQuorumCertificateMemo:
+    def _certified(self, registry):
+        helper = TestQuorumCertificateValidation()
+        return helper._make_certified(registry, range(3))
+
+    def test_validate_memoized_per_certificate(self):
+        registry = KeyRegistry(4)
+        _, qc = self._certified(registry)
+        assert qc._validate_memo is None
+        assert qc.validate(registry, quorum=3)
+        memo = qc._validate_memo
+        assert memo == (registry, 3, True)
+        assert qc.validate(registry, quorum=3)
+        assert qc._validate_memo is memo  # answered from the memo
+
+    def test_memo_respects_quorum_argument(self):
+        registry = KeyRegistry(4)
+        _, qc = self._certified(registry)
+        assert qc.validate(registry, quorum=3)
+        assert not qc.validate(registry, quorum=4)  # re-evaluated, not memo
+        assert qc.validate(registry, quorum=3)
+
+    def test_memo_respects_registry_identity(self):
+        registry = KeyRegistry(4)
+        _, qc = self._certified(registry)
+        assert qc.validate(registry, quorum=3)
+        # A registry with different keys must not inherit the verdict.
+        stranger = KeyRegistry(4, seed=b"other")
+        assert not qc.validate(stranger, quorum=3)
+
+    def test_invalid_verdict_memoized_too(self):
+        registry = KeyRegistry(4)
+        genesis, _ = make_genesis()
+        qc = QuorumCertificate(block_id=genesis.id(), round=1, height=0, votes=())
+        assert not qc.validate(registry, quorum=3)
+        assert qc._validate_memo == (registry, 3, False)
+        assert not qc.validate(registry, quorum=3)
+
+    def test_memo_disabled_with_registry_switch(self, monkeypatch):
+        monkeypatch.setattr(KeyRegistry, "memoize", False)
+        registry = KeyRegistry(4)
+        _, qc = self._certified(registry)
+        assert qc.validate(registry, quorum=3)
+        assert qc._validate_memo is None
