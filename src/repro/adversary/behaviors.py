@@ -16,7 +16,11 @@ returns a subclass with one specific deviation:
 * :func:`make_marker_liar` — votes like an honest replica but always
   reports ``marker = 0``, hiding its fork history (the Byzantine lie
   SFT's analysis budgets for: up to ``f`` liars inside any endorser
-  set, Theorem 2).
+  set, Theorem 2);
+* :func:`make_sync_withholder` — proposes and votes honestly but
+  never answers block-sync requests, starving catch-up through that
+  peer (exercises the :class:`~repro.sync.manager.SyncManager` retry
+  and peer-rotation path).
 """
 
 from __future__ import annotations
@@ -260,6 +264,23 @@ def make_marker_liar(replica_class):
     return MarkerLiar
 
 
+def make_sync_withholder(replica_class):
+    """A replica that silently drops every block-sync request.
+
+    Everything else — proposing, voting, serving its own fetches — is
+    honest, so the deviation is observable only as peers' catch-up
+    requests timing out and rotating away.  With sync disabled the
+    behaviour degenerates to honest.
+    """
+
+    class SyncWithholder(replica_class):
+        def _on_sync_request(self, src, msg):
+            del src, msg  # never serve
+
+    SyncWithholder.__name__ = f"SyncWithholding{replica_class.__name__}"
+    return SyncWithholder
+
+
 #: Behaviour name → class factory, for declarative fault mixes
 #: (:mod:`repro.experiments`) and the schedule fuzzer
 #: (:mod:`repro.fuzz`).  Factories taking extra knobs (reach, delay)
@@ -270,4 +291,5 @@ BEHAVIOR_FACTORIES = {
     "withhold": make_withholding_leader,
     "lazy": make_lazy_voter,
     "marker_lie": make_marker_liar,
+    "sync_withhold": make_sync_withholder,
 }

@@ -285,6 +285,17 @@ def liveness_applicable(spec) -> bool:
       Streamlet certifies by broadcast, so three suffice.  The fuzzer
       found the degenerate case: ``n = 4`` with one crash has no such
       window, and the chain grows forever without a single commit.
+
+    With the block-sync / catch-up subprotocol enabled
+    (``spec.sync_enabled``) both preconditions relax, and the two
+    fuzzer finds above become *live* schedules the oracle judges:
+
+    * timeout-attached votes let every replica aggregate a QC whose
+      collector crashed, so the DiemBFT window shrinks to three slots
+      (closes rotation starvation);
+    * a withholding leader whose reach still covers a quorum no longer
+      poisons its slot — the round certifies, and the skipped replicas
+      fetch the block through sync (closes withhold outcast).
     """
     f = spec.resolved_f()
     non_voting = spec.faults.non_voting()
@@ -292,27 +303,46 @@ def liveness_applicable(spec) -> bool:
         non_voting += spec.faults.lazy
     if non_voting > f:
         return False
-    window = 3 if spec.protocol in ("streamlet", "sft-streamlet") else 4
+    streamlet = spec.protocol in ("streamlet", "sft-streamlet")
+    window = 3 if streamlet or spec.sync_enabled else 4
     return _longest_correct_leader_run(spec) >= window
+
+
+def _withhold_reaches_quorum(spec, leader_id: int) -> bool:
+    """Whether a withholding leader's proposals can still certify.
+
+    Mirrors the behaviour's reach arithmetic: replicas
+    ``0 .. cutoff-1`` receive the proposal, plus the leader itself.
+    """
+    cutoff = int(spec.n * spec.faults.withhold_reach)
+    voters = cutoff + (1 if leader_id >= cutoff else 0)
+    return voters >= 2 * spec.resolved_f() + 1
 
 
 def _longest_correct_leader_run(spec) -> int:
     """Longest cyclic run of replica ids whose led rounds still commit.
 
-    Lazy, silent, and marker-lying replicas propose and aggregate
-    honestly (a silent leader's block is certified by the other
-    ``2f + 1`` voters), so their slots stay usable.  Crashed leaders
-    lose the votes they should aggregate, equivocators split their
-    round's votes, and withholders may starve part of the network —
-    those slots cannot anchor a committing 3-chain.
+    Lazy, silent, marker-lying, and sync-withholding replicas propose
+    and aggregate honestly (a silent leader's block is certified by the
+    other ``2f + 1`` voters), so their slots stay usable.  Crashed
+    leaders lose the votes they should aggregate, equivocators split
+    their round's votes, and withholders may starve part of the
+    network — those slots cannot anchor a committing 3-chain, except
+    that with sync enabled a quorum-reaching withholder's slot still
+    certifies (the skipped replicas catch up out of band).
     """
     assigned = spec.faults.assignments(spec.n)
-    faulty = {
-        replica_id
-        for name, ids in assigned.items()
-        if name in ("crash", "equivocate", "withhold")
-        for replica_id in ids
-    }
+    faulty = set()
+    for name, ids in assigned.items():
+        if name in ("crash", "equivocate"):
+            faulty.update(ids)
+        elif name == "withhold":
+            for replica_id in ids:
+                if not (
+                    spec.sync_enabled
+                    and _withhold_reaches_quorum(spec, replica_id)
+                ):
+                    faulty.add(replica_id)
     if not faulty:
         return spec.n
     alive = [replica_id not in faulty for replica_id in range(spec.n)]

@@ -126,6 +126,24 @@ def collect_job_metrics(cluster, spec) -> dict:
     message_stats = cluster.message_stats()
     per_commit = messages_per_committed_block(cluster)
 
+    # Block-sync subprotocol totals (zeros when sync is disabled).
+    sync_totals = {
+        "requests": 0,
+        "responses_served": 0,
+        "responses_applied": 0,
+        "invalid_responses": 0,
+        "blocks_synced": 0,
+        "peer_rotations": 0,
+    }
+    sync_enabled = False
+    for replica in cluster.replicas:
+        manager = getattr(replica, "sync", None)
+        if manager is None:
+            continue
+        sync_enabled = True
+        for key, value in manager.stats().items():
+            sync_totals[key] += value
+
     metrics = {
         "commits": len(reference.commit_tracker.commit_order),
         "rounds": reference.current_round,
@@ -159,6 +177,7 @@ def collect_job_metrics(cluster, spec) -> dict:
                 None if per_commit == float("inf") else _round(per_commit, 3)
             ),
         },
+        "sync": {"enabled": sync_enabled, **sync_totals},
         "safety_ok": safety_ok,
         "strong_safety_violations": strong_violations,
         "invariants": invariant_report(invariant_violations),

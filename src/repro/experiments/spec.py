@@ -52,7 +52,10 @@ class FaultMix:
     vote; ``equivocate`` leaders propose conflicting blocks;
     ``withhold`` leaders propose to only a ``withhold_reach`` share of
     the network; ``lazy`` voters delay votes by ``lazy_delay`` seconds;
-    ``marker_lie`` replicas vote honestly but always report marker 0.
+    ``marker_lie`` replicas vote honestly but always report marker 0;
+    ``sync_withhold`` replicas participate honestly but never answer
+    block-sync requests (exercises the catch-up retry/peer-rotation
+    path; a no-op when ``sync_enabled`` is off).
     """
 
     crash: int = 0
@@ -64,10 +67,11 @@ class FaultMix:
     lazy: int = 0
     lazy_delay: float = 0.5
     marker_lie: int = 0
+    sync_withhold: int = 0
 
     def __post_init__(self):
         for name in ("crash", "silent", "equivocate", "withhold", "lazy",
-                     "marker_lie"):
+                     "marker_lie", "sync_withhold"):
             _require_count(f"faults.{name}", getattr(self, name))
         _require_finite("faults.crash_at", self.crash_at)
         _require_finite("faults.lazy_delay", self.lazy_delay)
@@ -80,7 +84,7 @@ class FaultMix:
     def total(self) -> int:
         return (
             self.crash + self.silent + self.equivocate + self.withhold
-            + self.lazy + self.marker_lie
+            + self.lazy + self.marker_lie + self.sync_withhold
         )
 
     def non_voting(self) -> int:
@@ -110,6 +114,7 @@ class FaultMix:
             ("withhold", self.withhold),
             ("lazy", self.lazy),
             ("marker_lie", self.marker_lie),
+            ("sync_withhold", self.sync_withhold),
             ("crash", self.crash),
         ):
             ids = tuple(range(next_id, next_id - count, -1))
@@ -122,7 +127,8 @@ class FaultMix:
         assigned = self.assignments(n)
         return tuple(
             replica_id
-            for name in ("silent", "equivocate", "withhold", "lazy", "marker_lie")
+            for name in ("silent", "equivocate", "withhold", "lazy",
+                         "marker_lie", "sync_withhold")
             for replica_id in assigned[name]
         )
 
@@ -218,6 +224,10 @@ class ScenarioSpec:
     block_batch_count: int = 10
     block_batch_bytes: int = 1_000
     streamlet_round_duration: float | None = None
+    # Block-sync / catch-up subprotocol; off replays the pre-sync
+    # behaviour byte-for-byte (determinism differentials, corpus
+    # starvation stories).
+    sync_enabled: bool = True
     # Run control.
     duration: float = 10.0
     seeds: tuple = (1,)
@@ -325,6 +335,7 @@ class ScenarioSpec:
             block_batch_count=self.block_batch_count,
             block_batch_bytes=self.block_batch_bytes,
             streamlet_round_duration=self.streamlet_round_duration,
+            sync_enabled=self.sync_enabled,
             duration=self.duration,
             seed=self.seeds[0] if seed is None else seed,
             observers=self.observers,

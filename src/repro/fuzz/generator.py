@@ -40,6 +40,11 @@ class FuzzProfile:
     Definition 1 is about.  ``naive_rate`` flips runs to the flawed
     all-indirect-votes accounting (expected counterexamples);
     ``scripted_rate`` emits Appendix-C constructions directly.
+    ``sync_off_rate`` is how often the block-sync / catch-up
+    subprotocol is disabled — keeping the pre-sync schedule space
+    (including its known starvation pathologies) in rotation while the
+    default-on majority also samples response-withholding peers via
+    the ``sync_withhold`` fault kind.
     """
 
     name: str = "default"
@@ -57,6 +62,7 @@ class FuzzProfile:
     naive_rate: float = 0.15
     scripted_rate: float = 0.08
     scripted_f_choices: tuple = (2, 3, 4)
+    sync_off_rate: float = 0.25
 
 
 DEFAULT_PROFILE = FuzzProfile()
@@ -103,6 +109,7 @@ def _sample_faults(rng: random.Random, n: int, f: int, profile: FuzzProfile,
         lazy=counts["lazy"],
         lazy_delay=round(rng.uniform(0.05, 0.4), 3),
         marker_lie=counts["marker_lie"],
+        sync_withhold=counts["sync_withhold"],
     )
     if mix.crash:
         mix = replace(mix, crash_at=_crash_time(rng, mix, n, duration, per_round))
@@ -218,6 +225,7 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
         faults = _sample_faults(rng, n, f, profile, duration, per_round)
 
     naive = protocol.startswith("sft") and rng.random() < profile.naive_rate
+    sync_enabled = rng.random() >= profile.sync_off_rate
 
     return ScenarioSpec(
         name=name,
@@ -231,6 +239,7 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
         duration=duration,
         faults=faults,
         naive_accounting=naive,
+        sync_enabled=sync_enabled,
         seeds=(seed,),
         **topology_kwargs,
     )

@@ -21,7 +21,10 @@ from repro.experiments.runner import run_job
 from repro.experiments.spec import ScenarioSpec
 
 #: Fault-mix fields the shrinker tries to remove, in order.
-_FAULT_FIELDS = ("crash", "silent", "equivocate", "withhold", "lazy", "marker_lie")
+_FAULT_FIELDS = (
+    "crash", "silent", "equivocate", "withhold", "lazy", "marker_lie",
+    "sync_withhold",
+)
 
 
 @dataclass(frozen=True, slots=True)

@@ -31,6 +31,8 @@ from repro.types.messages import (
     EchoMsg,
     ExtraVotesMsg,
     ProposalMsg,
+    SyncRequestMsg,
+    SyncResponseMsg,
     TimeoutMsg,
     VoteMsg,
 )
@@ -38,6 +40,8 @@ from repro.types.messages import (
 _VOTE_SIZE = 200
 _TIMEOUT_SIZE = 300
 _HEADER_SIZE = 64
+_QC_SIZE = 2_000
+_HASH_SIZE = 32
 
 
 def _vote_wire_size(vote) -> int:
@@ -60,8 +64,26 @@ def _vote_msg_size(message) -> int:
 
 
 def _timeout_size(message) -> int:
+    size = _TIMEOUT_SIZE
+    if message.vote is not None:  # sync-enabled vote recovery piggyback
+        size += _vote_wire_size(message.vote)
+    return size
+
+
+def _sync_request_size(message) -> int:
     del message
-    return _TIMEOUT_SIZE
+    return _HEADER_SIZE + _HASH_SIZE + 16  # target hash + max/nonce ints
+
+
+def _sync_response_size(message) -> int:
+    # Each entry ships a full block (payload + header) plus its embedded
+    # parent QC; the optional tip QC rides on top.
+    size = _HEADER_SIZE
+    for block in message.blocks:
+        size += block.payload.size_bytes() + _QC_SIZE + _HEADER_SIZE
+    if message.tip_qc is not None:
+        size += _QC_SIZE
+    return size
 
 
 def _extra_votes_size(message) -> int:
@@ -89,10 +111,20 @@ _WIRE_SIZERS: dict = {
     TimeoutMsg: _timeout_size,
     ExtraVotesMsg: _extra_votes_size,
     EchoMsg: _echo_size,
+    SyncRequestMsg: _sync_request_size,
+    SyncResponseMsg: _sync_response_size,
 }
 
 #: Resolution order for subclasses — mirrors the old isinstance chain.
-_MESSAGE_BASES = (ProposalMsg, VoteMsg, TimeoutMsg, ExtraVotesMsg, EchoMsg)
+_MESSAGE_BASES = (
+    ProposalMsg,
+    VoteMsg,
+    TimeoutMsg,
+    ExtraVotesMsg,
+    EchoMsg,
+    SyncRequestMsg,
+    SyncResponseMsg,
+)
 
 
 def _resolve_sizer(message_type):

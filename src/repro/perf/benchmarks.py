@@ -47,7 +47,14 @@ class BenchmarkCase:
 
 
 def _spec(name: str, **overrides) -> ScenarioSpec:
-    """Benchmark scenario defaults: small payloads, one observer."""
+    """Benchmark scenario defaults: small payloads, one observer.
+
+    ``sync_enabled`` is pinned off: the committed ``BENCH_*.json``
+    baselines predate the block-sync subprotocol and these cases track
+    the engine hot path, so they must keep replaying byte-identically.
+    The sync workload itself is measured by the dedicated
+    ``sync_catchup_n16`` case (not gated against pre-sync baselines).
+    """
     params = dict(
         name=name,
         protocol="sft-diembft",
@@ -60,6 +67,7 @@ def _spec(name: str, **overrides) -> ScenarioSpec:
         block_batch_bytes=1_000,
         observers=1,
         seeds=(1,),
+        sync_enabled=False,
     )
     params.update(overrides)
     return ScenarioSpec(**params)
@@ -125,14 +133,40 @@ def _bandwidth_case(duration: float) -> BenchmarkCase:
     )
 
 
+def _sync_case(duration: float) -> BenchmarkCase:
+    """The block-sync workload: a quorum-reach withholding leader
+    keeps starving replicas that continuously catch up through the
+    sync subprotocol.  Tracked for trend only — it has no pre-sync
+    baseline entry, and ``repro bench compare`` ignores cases absent
+    from the baseline."""
+    return BenchmarkCase(
+        name="sync_catchup_n16",
+        category="sync",
+        description=(
+            "withholding leader at quorum reach + block-sync catch-up "
+            "(SyncRequest/SyncResponse round trips on the hot path)"
+        ),
+        spec=_spec(
+            "sync_catchup_n16",
+            n=16,
+            duration=duration,
+            sync_enabled=True,
+            faults=FaultMix(withhold=1, withhold_reach=0.75),
+        ),
+    )
+
+
 def _fuzz_cases(seeds: tuple) -> list:
     from repro.fuzz.generator import SMOKE_PROFILE, generate_spec
 
     cases = []
     for seed in seeds:
+        # Pin sync off so the case replays against pre-sync baselines
+        # (the generator itself now samples sync on/off).
         spec = generate_spec(seed, SMOKE_PROFILE)
         if spec.script:  # scripted constructions have no event loop to time
             continue
+        spec = spec.with_overrides(sync_enabled=False)
         cases.append(
             BenchmarkCase(
                 name=f"fuzz_smoke_seed{seed}",
@@ -159,6 +193,7 @@ def full_suite() -> tuple:
             _verify_case(duration=6.0),
             _fault_case(duration=15.0),
             _bandwidth_case(duration=15.0),
+            _sync_case(duration=15.0),
         ]
         + _fuzz_cases((1, 3, 6, 10))
     )
@@ -173,6 +208,7 @@ def smoke_suite() -> tuple:
             _verify_case(duration=2.0),
             _fault_case(duration=6.0),
             _bandwidth_case(duration=6.0),
+            _sync_case(duration=6.0),
         ]
         + _fuzz_cases((3, 7))
     )

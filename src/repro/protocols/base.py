@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.crypto.registry import KeyRegistry
 from repro.net.network import Network
 from repro.net.simulator import Simulator, TimerHandle
+from repro.types.messages import SyncRequestMsg, SyncResponseMsg
 
 
 def round_robin_leader(round_number: int, n: int) -> int:
@@ -44,7 +45,16 @@ class ReplicaConfig:
     * ``verify_signatures`` — validate every signature on receipt
       (on for tests; large benches may disable for speed);
     * ``block_batch_count`` / ``block_batch_bytes`` — synthetic payload
-      shape (the paper's ~1000 txns / ~450 KB per block).
+      shape (the paper's ~1000 txns / ~450 KB per block);
+    * ``sync_enabled`` — the block-sync / catch-up subprotocol
+      (:mod:`repro.sync`): fetch missing certified ancestor chains
+      from peers and recover QCs from timeout-attached votes.  Off
+      preserves the pre-sync behaviour byte-for-byte (determinism
+      differentials, bench baselines);
+    * ``sync_retry`` / ``sync_max_blocks`` / ``sync_round_lag`` —
+      sync tuning: per-peer response deadline before rotating, blocks
+      per response, and how far the round may run ahead of the local
+      certified tip before a tip catch-up fires.
     """
 
     n: int
@@ -61,6 +71,10 @@ class ReplicaConfig:
     drop_stale_messages: bool = True
     block_batch_count: int = 1000
     block_batch_bytes: int = 450_000
+    sync_enabled: bool = True
+    sync_retry: float = 0.25
+    sync_max_blocks: int = 8
+    sync_round_lag: int = 4
     leader_fn: object = field(default=None)
 
     def quorum(self) -> int:
@@ -115,6 +129,15 @@ class BaseReplica:
         self.replica_id = context.replica_id
         self.crashed = False
         self.crash_at: float | None = None
+        self.sync = None  # SyncManager, attached by _init_sync()
+
+    def _init_sync(self) -> None:
+        """Attach the block-sync manager (subclasses call after the
+        block store exists; no-op when ``sync_enabled`` is off)."""
+        if self.config.sync_enabled:
+            from repro.sync import SyncManager
+
+            self.sync = SyncManager(self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -130,10 +153,49 @@ class BaseReplica:
         self.context.network.unregister(self.replica_id)
 
     def deliver(self, src: int, message) -> None:
-        """Network entry point; dispatches to ``on_message``."""
+        """Network entry point; dispatches to ``on_message``.
+
+        Sync traffic is intercepted here, before protocol dispatch:
+        the catch-up subprotocol is family-agnostic plumbing (it only
+        reads/extends the block store), so neither DiemBFT's collector
+        logic nor Streamlet's echo layer ever sees it.
+        """
         if self.crashed:
             return
+        if isinstance(message, SyncRequestMsg):
+            self._on_sync_request(src, message)
+            return
+        if isinstance(message, SyncResponseMsg):
+            self._on_sync_response(src, message)
+            return
         self.on_message(src, message)
+
+    # ------------------------------------------------------------------
+    # sync plumbing (shared by both protocol families)
+    # ------------------------------------------------------------------
+
+    def _on_sync_request(self, src: int, msg) -> None:
+        """Serve a peer's catch-up request (adversary seam: a
+        response-withholding behaviour overrides this to drop it)."""
+        if self.sync is not None:
+            self.sync.serve(src, msg)
+
+    def _on_sync_response(self, src: int, msg) -> None:
+        if self.sync is None:
+            return
+        inserted, tip_qc = self.sync.accept(src, msg)
+        if tip_qc is not None:
+            self._process_qc(tip_qc, self.context.now)
+        if inserted:
+            self._handle_inserted_blocks(inserted)
+
+    def _process_qc(self, qc, now: float) -> None:
+        """Provided by the protocol families (QC ingestion path)."""
+        raise NotImplementedError
+
+    def _handle_inserted_blocks(self, inserted) -> None:
+        """Provided by the protocol families (post-insertion path)."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # protocol-specific holes (Figure 1)

@@ -77,11 +77,15 @@ class DiemBFTReplica(BaseReplica):
         self._qcs_processed: set[BlockId] = set()
         self._pending_qcs: dict[BlockId, QuorumCertificate] = {}
         self._orphan_proposals: dict[BlockId, ProposalMsg] = {}
+        # Block-sync: last cast vote (recovered via timeout messages
+        # when the aggregating next leader crashed).
+        self._last_vote = None
         # Statistics.
         self.blocks_proposed = 0
         self.votes_sent = 0
         self.timeouts_sent = 0
         self.invalid_messages = 0
+        self._init_sync()
 
     # ------------------------------------------------------------------
     # construction hooks (overridden by subclasses)
@@ -143,6 +147,12 @@ class DiemBFTReplica(BaseReplica):
     def _on_new_round(self, round_number: int, reason: str) -> None:
         if self.crashed:
             return
+        if self.sync is not None and reason == "tc":
+            # Timeout-driven jumps are the round-lag staleness signal:
+            # QCs advance the round only when their block is known.
+            self.sync.note_round_lag(
+                round_number, self.store.highest_certified_block().round
+            )
         if self.config.leader_of(round_number) == self.replica_id:
             self._propose(round_number, reason)
 
@@ -172,10 +182,21 @@ class DiemBFTReplica(BaseReplica):
     def _on_local_timeout(self, round_number: int) -> None:
         if self.crashed:
             return
+        vote = None
+        if (
+            self.sync is not None
+            and self._last_vote is not None
+            and self._last_vote.block_round == round_number
+        ):
+            # QC recovery: the vote this replica sent to the (possibly
+            # crashed) round-(r+1) leader rides on the timeout, letting
+            # every peer aggregate the round-r QC locally.
+            vote = self._last_vote
         timeout = TimeoutMsg(
             sender=self.replica_id,
             round=round_number,
             qc_high=self.qc_high,
+            vote=vote,
         )
         signature = self.context.signing_key.sign(timeout.signing_payload())
         timeout = replace(timeout, signature=signature)
@@ -232,6 +253,10 @@ class DiemBFTReplica(BaseReplica):
         inserted = self.store.add_block(block)
         if inserted:
             self._handle_inserted_blocks(inserted)
+        elif self.sync is not None and block.parent_id not in self.store:
+            # The proposal was orphaned on an unknown parent — the
+            # staleness signal the catch-up subprotocol acts on.
+            self.sync.note_missing(block.parent_id)
 
     def _validate_proposal(self, src: int, msg: ProposalMsg) -> bool:
         block = msg.block
@@ -292,6 +317,7 @@ class DiemBFTReplica(BaseReplica):
         vote = self._make_vote(block)
         self.r_vote = round_number
         self.votes_sent += 1
+        self._last_vote = vote
         self._after_vote(block)
         next_leader = self.config.leader_of(round_number + 1)
         self.context.send(next_leader, VoteMsg(sender=self.replica_id, vote=vote))
@@ -318,6 +344,14 @@ class DiemBFTReplica(BaseReplica):
                 return
         if self.config.leader_of(vote.block_round + 1) != self.replica_id:
             return  # not the collector for this round
+        self._aggregate_vote(vote)
+
+    def _aggregate_vote(self, vote) -> None:
+        """Bucket one validated vote; form the QC at quorum.
+
+        Shared by the ordinary collector path and the sync-enabled
+        timeout-vote recovery path (where *every* replica aggregates).
+        """
         block_id = vote.block_id
         if block_id in self._formed_qcs:
             self._on_late_vote(vote)
@@ -370,6 +404,10 @@ class DiemBFTReplica(BaseReplica):
                 self._on_new_certification(qc, now)
         else:
             self._pending_qcs.setdefault(qc.block_id, qc)
+            if self.sync is not None and not qc.is_genesis():
+                # A QC certifying a block we have never seen: fetch
+                # its certified ancestor chain from peers.
+                self.sync.note_missing(qc.block_id)
         self.pacemaker.advance_on_qc(qc.round)
 
     # ------------------------------------------------------------------
@@ -392,11 +430,37 @@ class DiemBFTReplica(BaseReplica):
         ):
             return  # timeout for a round this replica already left
         self._process_qc(msg.qc_high, self.context.now)
+        if self.sync is not None and msg.vote is not None:
+            self._recover_timeout_vote(msg.sender, msg.vote)
         tc = self.pacemaker.record_timeout_vote(
             msg.round, msg.sender, msg.qc_high.round
         )
         if tc is not None:
             self.pacemaker.advance_on_tc(tc)
+
+    def _recover_timeout_vote(self, sender: int, vote) -> None:
+        """Aggregate a vote recovered from a peer's timeout message.
+
+        When the leader of round ``r + 1`` crashes, the round-``r``
+        votes it should have aggregated are lost and the 3-chain can
+        never complete (the fuzzer's rotation-starvation find).  With
+        sync enabled every replica re-aggregates the votes that ride on
+        timeout messages, so the QC forms anyway.  Safety is unchanged:
+        a recovered QC is the same 2f+1 signed votes any collector
+        would have bundled.
+        """
+        if vote.voter != sender or not 0 <= vote.voter < self.config.n:
+            self.invalid_messages += 1
+            return
+        if self.store.is_certified(vote.block_id):
+            return  # QC already known through the ordinary paths
+        if self.config.verify_signatures:
+            if vote.signature is None or not self.context.registry.verify(
+                vote.signing_payload(), vote.signature
+            ):
+                self.invalid_messages += 1
+                return
+        self._aggregate_vote(vote)
 
     # ------------------------------------------------------------------
     # introspection helpers (used by runtime/metrics/tests)

@@ -10,6 +10,12 @@ amortized message complexity per decision the paper derives.
 
 Benchmark E5 (``benchmarks/test_message_complexity.py``) measures this
 against SFT-DiemBFT's linear footprint.
+
+Block-sync (``sync_enabled``) is inherited from the DiemBFT base; a
+timeout-recovered vote that arrives after this replica's local QC
+formed flows through :meth:`_on_late_vote` like any other straggler
+vote, i.e. it is multicast and counted toward flexible-quorum
+assurance.
 """
 
 from __future__ import annotations

@@ -22,6 +22,11 @@ that SFT adds only "marginal bookkeeping overhead".
 For light clients (Section 5), observer leaders embed a commit log of
 strong-commit level updates in their proposals; see
 :mod:`repro.lightclient.proofs`.
+
+Block-sync (``sync_enabled``) is inherited from the DiemBFT base:
+synced ancestor chains enter through ``_handle_inserted_blocks``, so
+their embedded strong-QCs feed the endorsement tracker exactly as
+live-delivered ones do.
 """
 
 from __future__ import annotations

@@ -20,6 +20,10 @@ Appendix D.4's observation — reverting an SFT-Streamlet strong commit
 requires the adversary to *sustain* corruption for about ``h`` rounds
 to regrow a competitive certified chain, versus a single round in
 SFT-DiemBFT — is exercised by benchmark E8 and the adversarial tests.
+
+Block-sync (``sync_enabled``) is inherited from the Streamlet base;
+synced blocks re-enter ``_handle_inserted_blocks`` so their embedded
+strong-QCs reach the endorsement tracker like live ones.
 """
 
 from __future__ import annotations

@@ -63,6 +63,7 @@ class StreamletReplica(BaseReplica):
         self.blocks_proposed = 0
         self.votes_sent = 0
         self.invalid_messages = 0
+        self._init_sync()
 
     # ------------------------------------------------------------------
     # construction hooks (overridden by SFT-Streamlet)
@@ -114,6 +115,12 @@ class StreamletReplica(BaseReplica):
         if self.crashed:
             return
         self.current_round = round_number
+        if self.sync is not None:
+            # Lock-step rounds advance on the clock, so a replica whose
+            # certified tip trails the round number is stale.
+            self.sync.note_round_lag(
+                round_number, self.store.highest_certified_block().round
+            )
         if self.config.leader_of(round_number) == self.replica_id:
             self._propose(round_number)
         self.context.set_timer(
@@ -208,6 +215,8 @@ class StreamletReplica(BaseReplica):
         inserted = self.store.add_block(block)
         if inserted:
             self._handle_inserted_blocks(inserted)
+        elif self.sync is not None and block.parent_id not in self.store:
+            self.sync.note_missing(block.parent_id)
 
     def _validate_proposal(self, src: int, msg: ProposalMsg) -> bool:
         block = msg.block
@@ -311,6 +320,8 @@ class StreamletReplica(BaseReplica):
                 self._on_new_certification(qc, now)
         else:
             self._pending_qcs.setdefault(qc.block_id, qc)
+            if self.sync is not None and not qc.is_genesis():
+                self.sync.note_missing(qc.block_id)
 
     # ------------------------------------------------------------------
     # introspection

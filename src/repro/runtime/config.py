@@ -74,6 +74,9 @@ class ExperimentConfig:
     block_batch_count: int = 1000
     block_batch_bytes: int = 450_000
     streamlet_round_duration: float | None = None
+    # Block-sync / catch-up subprotocol (repro.sync); off preserves the
+    # pre-sync runs byte-for-byte.
+    sync_enabled: bool = True
     # Run control.
     duration: float = 60.0
     seed: int = 1
@@ -158,6 +161,7 @@ class ExperimentConfig:
             drop_stale_messages=self.drop_stale_messages,
             block_batch_count=self.block_batch_count,
             block_batch_bytes=self.block_batch_bytes,
+            sync_enabled=self.sync_enabled,
         )
         if self.protocol in ("streamlet", "sft-streamlet"):
             duration = self.streamlet_round_duration

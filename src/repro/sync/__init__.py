@@ -1,0 +1,15 @@
+"""Block-sync / catch-up subprotocol.
+
+Correct BFT replicas can fall behind the certified chain — a
+withholding leader skips them, a partition isolates them, delivery
+reordering orphans a proposal — and the paper's protocols assume they
+eventually obtain every certified block.  This package supplies that
+missing recovery path: :class:`~repro.sync.manager.SyncManager`
+detects staleness and fetches missing certified ancestor chains from
+peers, with retry, peer rotation, and QC re-validation before any
+block enters the local :class:`~repro.types.chain.BlockStore`.
+"""
+
+from repro.sync.manager import SyncManager
+
+__all__ = ["SyncManager"]

@@ -62,11 +62,19 @@ class VoteMsg(Message):
 
 @dataclass(frozen=True, slots=True)
 class TimeoutMsg(Message):
-    """⟨timeout, r, qc_high⟩_i — sent when the round-``r`` timer expires."""
+    """⟨timeout, r, qc_high⟩_i — sent when the round-``r`` timer expires.
+
+    With block-sync enabled the sender attaches the vote it cast in the
+    timed-out round (``vote``), so peers can recover a QC whose
+    collector — the next-round leader — crashed before aggregating.
+    The vote is individually signed; the timeout signature still covers
+    only ``(round, sender)``, keeping sync-off runs byte-identical.
+    """
 
     round: int
     qc_high: QuorumCertificate
     signature: Signature | None = None
+    vote: object | None = None
     _cached_payload: bytes | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -115,6 +123,76 @@ class ClientRequestMsg(Message):
     transaction: object
 
 
+@dataclass(frozen=True, slots=True)
+class SyncRequestMsg(Message):
+    """⟨sync-req, target, max, nonce⟩_i — ask a peer for missing blocks.
+
+    ``target`` names the block whose certified ancestor chain the
+    requester is missing (a proposal or QC referenced it but the local
+    :class:`~repro.types.chain.BlockStore` has never seen it); ``None``
+    asks for the peer's highest certified chain (round-lag catch-up).
+    ``max_blocks`` bounds one response; deeper gaps are closed by
+    iterated requests.  ``nonce`` pairs responses with requests across
+    retries and peer rotation.
+    """
+
+    target: object | None = None  # BlockId (HashDigest) or None for tip
+    max_blocks: int = 8
+    nonce: int = 0
+    signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def signing_payload(self) -> bytes:
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        target_bytes = b"" if self.target is None else self.target.value
+        payload = canonical_bytes(
+            "sync-req", self.sender, target_bytes, self.max_blocks, self.nonce
+        )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class SyncResponseMsg(Message):
+    """⟨sync-resp, nonce, blocks, tip_qc⟩_i — a certified ancestor chain.
+
+    ``blocks`` runs newest-first: ``blocks[0]`` is the requested target
+    (or the responder's certified tip) and ``blocks[i + 1]`` is the
+    parent of ``blocks[i]``, so each embedded ``block.qc`` certifies
+    the next entry.  ``tip_qc`` certifies ``blocks[0]`` itself when the
+    responder knows one.  Empty ``blocks`` signals a miss — the
+    responder does not have the target — so the requester rotates peers
+    immediately.  Block contents are authenticated by their hashes (a
+    QC names its block by content hash); the message signature binds
+    the chain to the responder for accounting.
+    """
+
+    nonce: int = 0
+    blocks: tuple = ()
+    tip_qc: QuorumCertificate | None = None
+    signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def signing_payload(self) -> bytes:
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes(
+            "sync-resp",
+            self.sender,
+            self.nonce,
+            tuple(block.id().value for block in self.blocks),
+        )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
+
+
 __all__ = [
     "Message",
     "ProposalMsg",
@@ -124,4 +202,6 @@ __all__ = [
     "ExtraVotesMsg",
     "EchoMsg",
     "ClientRequestMsg",
+    "SyncRequestMsg",
+    "SyncResponseMsg",
 ]

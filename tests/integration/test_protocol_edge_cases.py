@@ -30,9 +30,14 @@ class TestMinimalCluster:
         forming, commits stall.  (Theorem 2's honest-leader-window
         assumption implicitly requires n large enough relative to the
         crash pattern.)
+
+        Sync off: the block-sync subsystem's timeout-vote recovery
+        closes exactly this gap (tests/integration/test_block_sync.py);
+        this test documents the bare protocol's behaviour.
         """
         cluster = build_cluster(
-            small_experiment(n=4, duration=10.0, crash_schedule=((3, 1.0),))
+            small_experiment(n=4, duration=10.0, crash_schedule=((3, 1.0),),
+                             sync_enabled=False)
         ).run()
         survivors = [r for r in cluster.replicas if not r.crashed]
         check_commit_safety(survivors)
