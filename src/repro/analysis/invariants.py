@@ -304,7 +304,18 @@ def liveness_applicable(spec) -> bool:
     if non_voting > f:
         return False
     streamlet = spec.protocol in ("streamlet", "sft-streamlet")
-    window = 3 if streamlet or spec.sync_enabled else 4
+    if streamlet:
+        # Linear vote collection routes Streamlet votes to the leader
+        # of ``r + 1`` instead of broadcasting, so certifying the three
+        # commit rounds additionally needs their three collectors
+        # correct — four consecutive correct slots, like pre-sync
+        # DiemBFT.  (Streamlet has no timeout-vote recovery, so
+        # ``sync_enabled`` does not win the window back.)
+        window = 4 if getattr(spec, "linear_votes", False) else 3
+    else:
+        # DiemBFT-family votes already go point-to-point to the next
+        # leader, so ``linear_votes`` does not change its window.
+        window = 3 if spec.sync_enabled else 4
     return _longest_correct_leader_run(spec) >= window
 
 

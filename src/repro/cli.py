@@ -462,6 +462,7 @@ def command_bench_run(args) -> int:
         baseline = _load_bench_file(args.baseline)
         print()
         print(format_comparison(report, baseline))
+        _print_bench_warnings(report, baseline)
         try:
             regressions = compare_benchmarks(
                 report, baseline, threshold=args.threshold
@@ -485,6 +486,17 @@ def _load_bench_file(path):
         raise SystemExit(2) from error
 
 
+def _print_bench_warnings(current, baseline) -> None:
+    """Surface cases present in only one report (partial coverage)."""
+    from repro.perf import coverage_warnings
+
+    warnings = coverage_warnings(current, baseline)
+    if warnings:
+        print(f"\nbench coverage: {len(warnings)} warning(s)")
+        for warning in warnings:
+            print(f"  warning: {warning}")
+
+
 def _report_bench_regressions(regressions, threshold) -> int:
     if not regressions:
         print(f"\nbench gate: no regressions (threshold {threshold:.0%})")
@@ -502,6 +514,7 @@ def command_bench_compare(args) -> int:
     current = _load_bench_file(args.report)
     baseline = _load_bench_file(args.baseline)
     print(format_comparison(current, baseline))
+    _print_bench_warnings(current, baseline)
     try:
         regressions = compare_benchmarks(
             current, baseline, threshold=args.threshold

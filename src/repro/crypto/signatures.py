@@ -76,5 +76,15 @@ class VerifyingKey:
         expected = hmac.new(self._secret, message, hashlib.sha256).digest()
         return hmac.compare_digest(expected, signature.value)
 
+    def expected_mac(self, message: bytes) -> bytes:
+        """The MAC a valid signature over ``message`` must carry.
+
+        The fused QC verification path
+        (:meth:`~repro.crypto.registry.KeyRegistry.verify_qc_votes`)
+        computes these directly so one loop can compare all of a
+        certificate's votes without per-vote :meth:`verify` dispatch.
+        """
+        return hmac.new(self._secret, message, hashlib.sha256).digest()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VerifyingKey(replica={self.replica_id})"

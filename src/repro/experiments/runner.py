@@ -29,11 +29,44 @@ from repro.experiments.campaign import Campaign
 from repro.runtime.metrics import (
     LatencyReport,
     check_commit_safety,
+    commit_latency_percentiles,
     messages_per_committed_block,
+    percentile,
     regular_commit_latency,
     strong_latency_series,
     throughput_txps,
 )
+
+
+def _workload_metrics(cluster, reference) -> dict:
+    """Real-transaction accounting (zeros when no workload is attached).
+
+    ``committed_unique`` follows the executor's exactly-once rule
+    (distinct txids in the reference observer's committed chain);
+    ``duplicates`` counts re-proposed occurrences that wasted block
+    space — the overhead pipelining suppresses.
+    """
+    workload = getattr(cluster, "workload", None)
+    if workload is None:
+        return {
+            "submitted": 0,
+            "committed_unique": 0,
+            "duplicates": 0,
+            "per_sec": 0.0,
+            "e2e_p50_s": None,
+            "e2e_p99_s": None,
+        }
+    unique, duplicates = workload.committed_tx_stats(reference)
+    horizon = cluster.simulator.now
+    latencies = workload.end_to_end_latencies()
+    return {
+        "submitted": workload.submitted,
+        "committed_unique": unique,
+        "duplicates": duplicates,
+        "per_sec": _round(unique / horizon if horizon > 0 else 0.0, 3),
+        "e2e_p50_s": _round(percentile(latencies, 0.5)),
+        "e2e_p99_s": _round(percentile(latencies, 0.99)),
+    }
 
 
 def _round(value, digits: int = 6):
@@ -113,6 +146,9 @@ def collect_job_metrics(cluster, spec) -> dict:
     regular_mean, regular_count = regular_commit_latency(
         cluster, created_before=cutoff
     )
+    latency_percentiles = commit_latency_percentiles(
+        cluster, (0.5, 0.99), created_before=cutoff
+    )
     stats = collect_chain_stats(reference)
 
     monitor = QCDiversityMonitor(cluster.config.n)
@@ -151,6 +187,8 @@ def collect_job_metrics(cluster, spec) -> dict:
         "throughput_txps": _round(throughput_txps(cluster), 3),
         "regular_latency_s": _round(regular_mean),
         "regular_latency_samples": regular_count,
+        "regular_latency_p50_s": _round(latency_percentiles[0.5]),
+        "regular_latency_p99_s": _round(latency_percentiles[0.99]),
         "strong_latency_series": _series_metrics(cluster, spec),
         "chain": {
             "blocks_total": stats.blocks_total,
@@ -176,7 +214,9 @@ def collect_job_metrics(cluster, spec) -> dict:
             "per_commit": (
                 None if per_commit == float("inf") else _round(per_commit, 3)
             ),
+            "by_type": dict(sorted(message_stats["by_type"].items())),
         },
+        "txs": _workload_metrics(cluster, reference),
         "sync": {"enabled": sync_enabled, **sync_totals},
         "safety_ok": safety_ok,
         "strong_safety_violations": strong_violations,

@@ -228,6 +228,17 @@ class ScenarioSpec:
     # behaviour byte-for-byte (determinism differentials, corpus
     # starvation stories).
     sync_enabled: bool = True
+    # Throughput program (all default-off, same byte-identical-replay
+    # discipline): a real-transaction KV workload at ``workload_rate``
+    # txs/sec feeding per-replica mempools, leaders batching up to
+    # ``batch_size`` transactions / ``max_batch_bytes`` bytes per
+    # block, optional pipelined drains, and linear vote collection.
+    workload_rate: float = 0.0
+    workload_payload_bytes: int = 64
+    batch_size: int = 256
+    max_batch_bytes: int = 0
+    pipelined_proposals: bool = False
+    linear_votes: bool = False
     # Run control.
     duration: float = 10.0
     seeds: tuple = (1,)
@@ -258,9 +269,19 @@ class ScenarioSpec:
         for name in (
             "delta", "intra_delay", "ab_delay", "uniform_delay", "jitter",
             "bandwidth_bytes_per_sec", "processing_delay", "gst",
-            "pre_gst_delay", "qc_extra_wait",
+            "pre_gst_delay", "qc_extra_wait", "workload_rate",
         ):
             _require_finite(name, getattr(self, name))
+        _require_count("workload_payload_bytes", self.workload_payload_bytes)
+        _require_count("max_batch_bytes", self.max_batch_bytes)
+        if (
+            not isinstance(self.batch_size, int)
+            or isinstance(self.batch_size, bool)
+            or self.batch_size < 1
+        ):
+            raise ValueError(
+                f"batch_size must be a positive integer, got {self.batch_size!r}"
+            )
         for name in ("duration", "round_timeout", "timeout_multiplier",
                      "max_timeout"):
             _require_finite(name, getattr(self, name))
@@ -336,6 +357,12 @@ class ScenarioSpec:
             block_batch_bytes=self.block_batch_bytes,
             streamlet_round_duration=self.streamlet_round_duration,
             sync_enabled=self.sync_enabled,
+            workload_rate=self.workload_rate,
+            workload_payload_bytes=self.workload_payload_bytes,
+            batch_size=self.batch_size,
+            max_batch_bytes=self.max_batch_bytes,
+            pipelined_proposals=self.pipelined_proposals,
+            linear_votes=self.linear_votes,
             duration=self.duration,
             seed=self.seeds[0] if seed is None else seed,
             observers=self.observers,

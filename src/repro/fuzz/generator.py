@@ -45,6 +45,14 @@ class FuzzProfile:
     (including its known starvation pathologies) in rotation while the
     default-on majority also samples response-withholding peers via
     the ``sync_withhold`` fault kind.
+
+    The throughput axes (``linear_votes_rate``, ``batching_rate``,
+    ``collector_crash_rate``) draw from a *separate* RNG stream keyed
+    ``sft-fuzz-throughput:{name}:{seed}``, so pre-existing seeds keep
+    producing byte-identical base schedules.  ``collector_crash_rate``
+    is how often a crash under linear vote collection is re-aimed at a
+    round the victim *collects* (it leads ``r + 1``) — the schedule
+    family where a crashed collector swallows a whole round's votes.
     """
 
     name: str = "default"
@@ -63,6 +71,9 @@ class FuzzProfile:
     scripted_rate: float = 0.08
     scripted_f_choices: tuple = (2, 3, 4)
     sync_off_rate: float = 0.25
+    linear_votes_rate: float = 0.3
+    batching_rate: float = 0.25
+    collector_crash_rate: float = 0.5
 
 
 DEFAULT_PROFILE = FuzzProfile()
@@ -227,6 +238,37 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
     naive = protocol.startswith("sft") and rng.random() < profile.naive_rate
     sync_enabled = rng.random() >= profile.sync_off_rate
 
+    # Throughput axes come from their own stream so every draw above —
+    # and therefore every pre-existing seed's base schedule — is
+    # byte-identical whether or not these axes are enabled.
+    throughput_rng = random.Random(f"sft-fuzz-throughput:{profile.name}:{seed}")
+    throughput_kwargs: dict = {}
+    linear_votes = throughput_rng.random() < profile.linear_votes_rate
+    if linear_votes:
+        throughput_kwargs["linear_votes"] = True
+    if throughput_rng.random() < profile.batching_rate:
+        throughput_kwargs["workload_rate"] = throughput_rng.choice(
+            (200.0, 500.0, 1000.0)
+        )
+        throughput_kwargs["batch_size"] = throughput_rng.choice((16, 64, 256))
+        throughput_kwargs["pipelined_proposals"] = throughput_rng.random() < 0.5
+    if (
+        linear_votes
+        and faults.crash
+        and throughput_rng.random() < profile.collector_crash_rate
+    ):
+        # Re-aim the crash at a round the victim *collects*: under
+        # linear vote collection the leader of ``r + 1`` aggregates
+        # round ``r``'s votes, so the victim collects rounds
+        # ``victim - 1 (mod n)``, ``victim - 1 + n``, … — crashing
+        # there swallows a full round of votes instead of one proposal.
+        victim = faults.assignments(n)["crash"][0]
+        target_round = (victim - 1) % n + n * throughput_rng.randint(0, 2)
+        faults = replace(
+            faults,
+            crash_at=round(min(target_round * per_round, duration * 0.7), 4),
+        )
+
     return ScenarioSpec(
         name=name,
         protocol=protocol,
@@ -242,4 +284,5 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
         sync_enabled=sync_enabled,
         seeds=(seed,),
         **topology_kwargs,
+        **throughput_kwargs,
     )

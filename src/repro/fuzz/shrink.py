@@ -110,6 +110,20 @@ def _candidate_overrides(spec: ScenarioSpec):
             yield {f"faults.{field_name}": 0, **knob_resets.get(field_name, {})}
             if count > 1:
                 yield {f"faults.{field_name}": count - 1}
+    # Throughput axes: turning the workload off also resets its batch
+    # knobs so minimized specs carry no dangling parameters; linear
+    # vote collection and pipelining shed independently.
+    if spec.workload_rate:
+        yield {
+            "workload_rate": 0.0,
+            "batch_size": 256,
+            "max_batch_bytes": 0,
+            "pipelined_proposals": False,
+        }
+    if spec.pipelined_proposals:
+        yield {"pipelined_proposals": False}
+    if spec.linear_votes:
+        yield {"linear_votes": False}
     if spec.gst or spec.pre_gst_delay:
         yield {"gst": 0.0, "pre_gst_delay": 0.0}
     if spec.jitter:

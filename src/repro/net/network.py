@@ -31,6 +31,7 @@ from repro.types.messages import (
     EchoMsg,
     ExtraVotesMsg,
     ProposalMsg,
+    QCMsg,
     SyncRequestMsg,
     SyncResponseMsg,
     TimeoutMsg,
@@ -94,6 +95,14 @@ def _extra_votes_size(message) -> int:
     return _HEADER_SIZE + _VOTE_SIZE
 
 
+def _qc_msg_size(message) -> int:
+    # The aggregated certificate ships every embedded signed vote, so
+    # linear mode trades O(n²) vote messages for one O(n·vote) payload.
+    return _HEADER_SIZE + sum(
+        _vote_wire_size(vote) for vote in message.qc.votes
+    )
+
+
 def _echo_size(message) -> int:
     return _HEADER_SIZE + wire_size_bytes(message.inner)
 
@@ -108,6 +117,7 @@ def _default_size(message) -> int:
 _WIRE_SIZERS: dict = {
     ProposalMsg: _proposal_size,
     VoteMsg: _vote_msg_size,
+    QCMsg: _qc_msg_size,
     TimeoutMsg: _timeout_size,
     ExtraVotesMsg: _extra_votes_size,
     EchoMsg: _echo_size,
@@ -119,6 +129,7 @@ _WIRE_SIZERS: dict = {
 _MESSAGE_BASES = (
     ProposalMsg,
     VoteMsg,
+    QCMsg,
     TimeoutMsg,
     ExtraVotesMsg,
     EchoMsg,

@@ -25,6 +25,7 @@ from repro.perf.report import (
     bench_path,
     build_report,
     compare_benchmarks,
+    coverage_warnings,
     format_bench_table,
     format_comparison,
     load_bench,
@@ -43,6 +44,7 @@ __all__ = [
     "bench_path",
     "build_report",
     "compare_benchmarks",
+    "coverage_warnings",
     "format_bench_table",
     "format_comparison",
     "load_bench",

@@ -22,13 +22,19 @@ The cases mirror the hot paths the paper's evaluation leans on:
   partition, the fuzzer's bread and butter;
 * ``bandwidth_450kb_n16`` — the paper's ~450 KB blocks over a modelled
   uplink, exercising serialization delays and staggered arrival;
+* ``throughput_*`` — the real-transaction pipeline: a deterministic KV
+  workload feeding mempools, leaders batching pending transactions
+  into payloads (``throughput_batched_n16``), the pipelined drain
+  discipline (``throughput_pipelined_n16``), and linear vote
+  collection at n=32 (``throughput_linear_n32``).  These report
+  txs/sec and commit-latency percentiles alongside events/sec;
 * ``fuzz_smoke_seed{N}`` — fuzz-generator schedules replayed end to
   end, tracking the schedule-discovery loop's events/second.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.experiments.campaign import Job
 from repro.experiments.runner import CampaignRunner
@@ -156,14 +162,71 @@ def _sync_case(duration: float) -> BenchmarkCase:
     )
 
 
+def _throughput_cases(duration: float, linear_duration: float) -> list:
+    """The real-transaction pipeline: mempool → batch → commit."""
+    workload = dict(workload_rate=2000.0, workload_payload_bytes=64,
+                    batch_size=256)
+    return [
+        BenchmarkCase(
+            name="throughput_batched_n16",
+            category="throughput",
+            description=(
+                "KV workload at 2000 tx/s, leaders batching up to 256 "
+                "txs per block (stop-and-wait re-proposal)"
+            ),
+            spec=_spec(
+                "throughput_batched_n16", n=16, duration=duration, **workload
+            ),
+        ),
+        BenchmarkCase(
+            name="throughput_pipelined_n16",
+            category="throughput",
+            description=(
+                "same workload with pipelined proposals: in-flight "
+                "batches excluded from later drains, fresh txs per round"
+            ),
+            spec=_spec(
+                "throughput_pipelined_n16",
+                n=16,
+                duration=duration,
+                pipelined_proposals=True,
+                **workload,
+            ),
+        ),
+        BenchmarkCase(
+            name="throughput_linear_n32",
+            category="throughput",
+            description=(
+                "sft-streamlet n=32 with linear vote collection: votes "
+                "fan in to the next leader, QCMsg fans back out (O(n) "
+                "vote traffic instead of O(n^2))"
+            ),
+            spec=_spec(
+                "throughput_linear_n32",
+                protocol="sft-streamlet",
+                n=32,
+                duration=linear_duration,
+                linear_votes=True,
+                **workload,
+            ),
+        ),
+    ]
+
+
 def _fuzz_cases(seeds: tuple) -> list:
     from repro.fuzz.generator import SMOKE_PROFILE, generate_spec
 
+    # Zero the throughput-axis rates so these cases reproduce the
+    # schedules the committed baselines were recorded against (the
+    # axes draw from a separate RNG stream, so zeroed rates leave the
+    # base schedule byte-identical — including collector-aimed
+    # crash_at retargeting, which with_overrides could not undo).
+    profile = replace(SMOKE_PROFILE, linear_votes_rate=0.0, batching_rate=0.0)
     cases = []
     for seed in seeds:
         # Pin sync off so the case replays against pre-sync baselines
         # (the generator itself now samples sync on/off).
-        spec = generate_spec(seed, SMOKE_PROFILE)
+        spec = generate_spec(seed, profile)
         if spec.script:  # scripted constructions have no event loop to time
             continue
         spec = spec.with_overrides(sync_enabled=False)
@@ -195,6 +258,7 @@ def full_suite() -> tuple:
             _bandwidth_case(duration=15.0),
             _sync_case(duration=15.0),
         ]
+        + _throughput_cases(duration=15.0, linear_duration=4.0)
         + _fuzz_cases((1, 3, 6, 10))
     )
 
@@ -210,6 +274,7 @@ def smoke_suite() -> tuple:
             _bandwidth_case(duration=6.0),
             _sync_case(duration=6.0),
         ]
+        + _throughput_cases(duration=5.0, linear_duration=1.5)
         + _fuzz_cases((3, 7))
     )
 
@@ -253,7 +318,7 @@ def run_suite(cases, repeats: int = 3, workers: int = 1, progress=None) -> list:
             if previous is None:
                 best[index] = entry
             else:
-                stable = ("events", "commits", "messages")
+                stable = ("events", "commits", "messages", "txs")
                 for key in stable:
                     if entry["metrics"].get(key) != previous["metrics"].get(key):
                         raise AssertionError(
@@ -265,6 +330,7 @@ def run_suite(cases, repeats: int = 3, workers: int = 1, progress=None) -> list:
         metrics = entry["metrics"]
         wall = min(walls)
         events = metrics.get("events", 0)
+        txs = metrics.get("txs", {})
         results.append(
             {
                 "name": case.name,
@@ -277,6 +343,14 @@ def run_suite(cases, repeats: int = 3, workers: int = 1, progress=None) -> list:
                 "events": events,
                 "commits": metrics["commits"],
                 "messages_sent": metrics["messages"]["sent"],
+                # Simulated-time transaction throughput and commit
+                # latency tails (None when the case runs no workload /
+                # predates the txs metrics).
+                "txs_per_sec": (
+                    txs.get("per_sec") if txs.get("submitted") else None
+                ),
+                "commit_latency_p50_s": metrics.get("regular_latency_p50_s"),
+                "commit_latency_p99_s": metrics.get("regular_latency_p99_s"),
                 "wall_clock_s": round(wall, 6),
                 "wall_clock_runs": [round(value, 6) for value in walls],
                 "events_per_sec": round(events / wall, 3) if wall > 0 else None,

@@ -102,7 +102,8 @@ def compare_benchmarks(
 ) -> list:
     """Regressions of ``current`` against ``baseline``.
 
-    A benchmark regresses when its events/second falls below
+    A benchmark regresses when its events/second — or, for workload
+    cases, its simulated txs/second — falls below
     ``baseline × (1 - threshold)``; a benchmark present in the baseline
     but missing from the current report is a regression too (a shrunk
     suite must be deliberate).  A baseline without benchmarks raises —
@@ -125,16 +126,52 @@ def compare_benchmarks(
             continue
         rate = entry.get("events_per_sec")
         base_rate = base_entry.get("events_per_sec")
-        if rate is None or base_rate is None:
-            continue
-        floor = base_rate * (1.0 - threshold)
-        if rate < floor:
-            regressions.append(
-                BenchRegression(
-                    name, "events_per_sec", rate, base_rate, round(floor, 3)
+        if rate is not None and base_rate is not None:
+            floor = base_rate * (1.0 - threshold)
+            if rate < floor:
+                regressions.append(
+                    BenchRegression(
+                        name, "events_per_sec", rate, base_rate, round(floor, 3)
+                    )
                 )
-            )
+        # Transaction throughput is simulated-time and deterministic,
+        # so the same floor applies without hardware caveats.  A
+        # workload case that stops reporting txs/sec regressed.
+        base_txs = base_entry.get("txs_per_sec")
+        if base_txs:
+            txs = entry.get("txs_per_sec")
+            txs_floor = base_txs * (1.0 - threshold)
+            if txs is None or txs < txs_floor:
+                regressions.append(
+                    BenchRegression(
+                        name, "txs_per_sec", txs, base_txs, round(txs_floor, 3)
+                    )
+                )
     return regressions
+
+
+def coverage_warnings(current: dict, baseline: dict) -> list:
+    """Cases present in only one report, as human-readable warnings.
+
+    Complements :func:`compare_benchmarks`: only-in-baseline cases are
+    already hard regressions there; only-in-current cases run entirely
+    ungated (typically new benchmarks awaiting a baseline refresh) —
+    both deserve a loud mention so nobody mistakes a partial comparison
+    for full coverage.
+    """
+    current_names = set(_by_name(current))
+    baseline_names = set(_by_name(baseline))
+    warnings = []
+    for name in sorted(current_names - baseline_names):
+        warnings.append(
+            f"{name}: only in current report — not gated "
+            "(baseline predates it; refresh to start tracking)"
+        )
+    for name in sorted(baseline_names - current_names):
+        warnings.append(
+            f"{name}: only in baseline report — missing from current run"
+        )
+    return warnings
 
 
 def format_bench_table(report: dict) -> str:

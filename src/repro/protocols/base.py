@@ -54,7 +54,23 @@ class ReplicaConfig:
     * ``sync_retry`` / ``sync_max_blocks`` / ``sync_round_lag`` —
       sync tuning: per-peer response deadline before rotating, blocks
       per response, and how far the round may run ahead of the local
-      certified tip before a tip catch-up fires.
+      certified tip before a tip catch-up fires;
+    * ``batch_size`` / ``max_batch_bytes`` — mempool drain caps when a
+      real-transaction workload is attached: at most ``batch_size``
+      transactions and (when non-zero) ``max_batch_bytes`` payload
+      bytes per proposed block;
+    * ``pipelined_proposals`` — mempool drain discipline.  Off is
+      stop-and-wait re-proposal: a leader's payload repeats the
+      unacknowledged front of its queue until commit feedback drains
+      it.  On marks drained transactions in flight so consecutive
+      proposals ship fresh batches — a leader proposes round ``r+1``'s
+      transactions without waiting for round ``r``'s commit;
+    * ``linear_votes`` — Linear-PBFT-style vote collection: votes go
+      point-to-point to the round collector, which multicasts the
+      aggregated QC (:class:`~repro.types.messages.QCMsg`), making the
+      vote phase O(n) instead of all-to-all.  Off preserves the
+      pre-feature message flow byte-for-byte, same discipline as
+      ``sync_enabled``.
     """
 
     n: int
@@ -75,6 +91,10 @@ class ReplicaConfig:
     sync_retry: float = 0.25
     sync_max_blocks: int = 8
     sync_round_lag: int = 4
+    batch_size: int = 256
+    max_batch_bytes: int = 0
+    pipelined_proposals: bool = False
+    linear_votes: bool = False
     leader_fn: object = field(default=None)
 
     def quorum(self) -> int:

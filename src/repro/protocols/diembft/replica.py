@@ -35,6 +35,7 @@ from repro.types.block import Block, BlockId, make_genesis
 from repro.types.chain import BlockStore
 from repro.types.messages import (
     ProposalMsg,
+    QCMsg,
     TimeoutMsg,
     VoteMsg,
 )
@@ -214,6 +215,8 @@ class DiemBFTReplica(BaseReplica):
             self._on_vote(src, message)
         elif isinstance(message, TimeoutMsg):
             self._on_timeout_msg(src, message)
+        elif isinstance(message, QCMsg):
+            self._on_qc_msg(src, message)
         else:
             self._on_other_message(src, message)
 
@@ -383,6 +386,37 @@ class DiemBFTReplica(BaseReplica):
             block_id=block_id, round=round_number, height=height, votes=votes
         )
         self._formed_qcs.add(block_id)
+        self._process_qc(qc, self.context.now)
+        if (
+            self.config.linear_votes
+            and self.config.leader_of(round_number + 1) == self.replica_id
+        ):
+            # Linear vote collection: the collector re-broadcasts the
+            # aggregated certificate so peers learn it one hop after
+            # formation instead of waiting for it to ride inside the
+            # next proposal.  The collector check matters because with
+            # sync enabled *every* replica aggregates timeout-recovered
+            # votes — only the designated collector may fan out.
+            self.context.multicast(
+                QCMsg(sender=self.replica_id, qc=qc), include_self=False
+            )
+
+    def _on_qc_msg(self, src: int, msg: QCMsg) -> None:
+        """Ingest a collector's aggregated-QC broadcast (linear mode).
+
+        The certificate is self-certifying — ``2f + 1`` signed votes —
+        so validation is the ordinary QC check regardless of which peer
+        relayed it.
+        """
+        del src
+        qc = msg.qc
+        if qc.is_genesis():
+            return
+        if self.config.verify_signatures and not qc.validate(
+            self.context.registry, self.config.quorum()
+        ):
+            self.invalid_messages += 1
+            return
         self._process_qc(qc, self.context.now)
 
     # ------------------------------------------------------------------

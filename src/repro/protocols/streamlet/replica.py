@@ -25,7 +25,7 @@ from repro.core.commit_rules import CommitTracker
 from repro.protocols.base import BaseReplica, ReplicaConfig, ReplicaContext
 from repro.types.block import Block, BlockId
 from repro.types.chain import BlockStore
-from repro.types.messages import EchoMsg, ProposalMsg, VoteMsg
+from repro.types.messages import EchoMsg, ProposalMsg, QCMsg, VoteMsg
 from repro.types.quorum_cert import QuorumCertificate
 from repro.types.transaction import Payload, TxBatch
 from repro.types.vote import Vote
@@ -183,7 +183,23 @@ class StreamletReplica(BaseReplica):
             return ("proposal", message.block.id())
         if isinstance(message, VoteMsg):
             return ("vote", message.vote.block_id, message.vote.voter)
+        if isinstance(message, QCMsg):
+            return ("qc", message.qc.block_id)
         return None
+
+    def _should_echo(self, message) -> bool:
+        """Echo policy: the linear-mode message flow must stay O(n).
+
+        Votes travel point-to-point to the collector under
+        ``linear_votes`` (echoing them would rebuild the all-to-all
+        phase), and an aggregated-QC broadcast is never echoed — the
+        collector already fanned it out to everyone.
+        """
+        if isinstance(message, QCMsg):
+            return False
+        if self.config.linear_votes and isinstance(message, VoteMsg):
+            return False
+        return True
 
     def _handle_protocol_message(self, src: int, message, echoed: bool) -> None:
         key = self._message_key(message)
@@ -191,7 +207,7 @@ class StreamletReplica(BaseReplica):
             if key in self._seen_message_keys:
                 return
             self._seen_message_keys.add(key)
-            if self.config.echo_enabled:
+            if self.config.echo_enabled and self._should_echo(message):
                 self.context.multicast(
                     EchoMsg(sender=self.replica_id, inner=message, origin=src),
                     include_self=False,
@@ -200,6 +216,8 @@ class StreamletReplica(BaseReplica):
             self._on_proposal(src, message, echoed)
         elif isinstance(message, VoteMsg):
             self._on_vote(message)
+        elif isinstance(message, QCMsg):
+            self._on_qc_msg(message)
 
     # ------------------------------------------------------------------
     # proposals and voting
@@ -271,9 +289,16 @@ class StreamletReplica(BaseReplica):
         self._voted_rounds.add(round_number)
         self.votes_sent += 1
         self._after_vote(block)
-        self.context.multicast(
-            VoteMsg(sender=self.replica_id, vote=vote), include_self=True
-        )
+        vote_msg = VoteMsg(sender=self.replica_id, vote=vote)
+        if self.config.linear_votes:
+            # Linear collection: one point-to-point vote to the next
+            # round's leader (the collector), which aggregates and
+            # re-broadcasts the certificate — O(n) per vote phase
+            # instead of the multicast-plus-echo all-to-all.
+            collector = self.config.leader_of(round_number + 1)
+            self.context.send(collector, vote_msg)
+        else:
+            self.context.multicast(vote_msg, include_self=True)
 
     # ------------------------------------------------------------------
     # vote aggregation (every replica collects)
@@ -290,6 +315,11 @@ class StreamletReplica(BaseReplica):
             ):
                 self.invalid_messages += 1
                 return
+        if (
+            self.config.linear_votes
+            and self.config.leader_of(vote.block_round + 1) != self.replica_id
+        ):
+            return  # not the collector for this round
         self._ingest_vote_for_endorsement(vote, self.context.now)
         block_id = vote.block_id
         if block_id in self._formed_qcs:
@@ -310,6 +340,28 @@ class StreamletReplica(BaseReplica):
             block_id=block_id, round=round_number, height=height, votes=votes
         )
         self._formed_qcs.add(block_id)
+        self._process_qc(qc, self.context.now)
+        if (
+            self.config.linear_votes
+            and self.config.leader_of(round_number + 1) == self.replica_id
+        ):
+            self.context.multicast(
+                QCMsg(sender=self.replica_id, qc=qc), include_self=False
+            )
+
+    def _on_qc_msg(self, msg: QCMsg) -> None:
+        """Ingest a collector's aggregated-QC broadcast (linear mode)."""
+        qc = msg.qc
+        if qc.is_genesis():
+            return
+        if self.config.verify_signatures and not qc.validate(
+            self.context.registry, self.config.quorum()
+        ):
+            self.invalid_messages += 1
+            return
+        self._formed_qcs.add(qc.block_id)
+        self._collected_votes.pop(qc.block_id, None)
+        self._vote_block_info.pop(qc.block_id, None)
         self._process_qc(qc, self.context.now)
 
     def _process_qc(self, qc: QuorumCertificate, now: float) -> None:

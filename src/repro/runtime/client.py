@@ -18,11 +18,38 @@ from repro.types.transaction import Payload, Transaction
 
 
 class Mempool:
-    """FIFO pool of pending client transactions for one replica."""
+    """FIFO pool of pending client transactions for one replica.
 
-    def __init__(self, max_block_transactions: int = 1000) -> None:
+    Drains are capped by ``max_block_transactions`` and, when non-zero,
+    ``max_block_bytes`` (a payload always takes at least one
+    transaction so a jumbo entry cannot wedge the queue).
+
+    ``pipelined`` selects the drain discipline.  Off is stop-and-wait
+    re-proposal: every drain copies the unacknowledged front of the
+    queue, so a leader re-ships the same batch until commit feedback
+    removes it.  On marks drained transactions *in flight* for
+    ``inflight_timeout`` seconds and skips them in later drains, so
+    consecutive proposals carry fresh batches — the pipelining that
+    lets a leader propose round ``r+1``'s transactions before round
+    ``r`` commits.  Transactions whose proposal went nowhere (failed
+    round, crashed leader) become eligible again when the timeout
+    lapses; nothing is lost either way because entries only leave the
+    pool on commit.
+    """
+
+    def __init__(
+        self,
+        max_block_transactions: int = 1000,
+        max_block_bytes: int = 0,
+        pipelined: bool = False,
+        inflight_timeout: float = 1.0,
+    ) -> None:
         self.max_block_transactions = max_block_transactions
+        self.max_block_bytes = max_block_bytes
+        self.pipelined = pipelined
+        self.inflight_timeout = inflight_timeout
         self._pending: OrderedDict = OrderedDict()
+        self._in_flight: dict = {}  # txid -> eligibility deadline
         self.submitted = 0
 
     def submit(self, transaction: Transaction) -> None:
@@ -35,7 +62,9 @@ class Mempool:
     def remove_committed(self, transactions) -> None:
         """Drop transactions that made it into a committed block."""
         for transaction in transactions:
-            self._pending.pop(transaction.txid(), None)
+            txid = transaction.txid()
+            self._pending.pop(txid, None)
+            self._in_flight.pop(txid, None)
 
     def make_payload(self, now: float) -> Payload:
         """Drain up to a block's worth of transactions into a payload.
@@ -44,13 +73,33 @@ class Mempool:
         rounds must not lose them), so this *copies* the front of the
         queue rather than popping it.
         """
-        del now
+        in_flight = self._in_flight
+        if self.pipelined and in_flight:
+            expired = [
+                txid for txid, deadline in in_flight.items() if deadline <= now
+            ]
+            for txid in expired:
+                del in_flight[txid]
         front = []
-        for transaction in self._pending.values():
-            front.append(transaction)
+        size = 0
+        max_bytes = self.max_block_bytes
+        for txid, transaction in self._pending.items():
+            if self.pipelined and txid in in_flight:
+                continue
+            tx_size = transaction.size_bytes()
+            if front and max_bytes and size + tx_size > max_bytes:
+                break
+            front.append((txid, transaction))
+            size += tx_size
             if len(front) >= self.max_block_transactions:
                 break
-        return Payload(transactions=tuple(front))
+        if self.pipelined:
+            deadline = now + self.inflight_timeout
+            for txid, _transaction in front:
+                in_flight[txid] = deadline
+        return Payload(
+            transactions=tuple(transaction for _txid, transaction in front)
+        )
 
 
 class CommitFeedback:

@@ -46,6 +46,7 @@ class Cluster:
         self.replicas: list = []
         self.replica_overrides = dict(replica_overrides or {})
         self.byzantine_ids: frozenset = frozenset()
+        self.workload = None  # KVWorkload when workload_rate > 0
         self._built = False
 
     # ------------------------------------------------------------------
@@ -73,6 +74,15 @@ class Cluster:
             self.network.register(replica_id, replica)
         for groups, start, end in getattr(self.config, "partition_schedule", ()):
             self.network.add_partition(groups, start, end)
+        if getattr(self.config, "workload_rate", 0.0) > 0:
+            from repro.runtime.workload import KVWorkload
+
+            self.workload = KVWorkload(
+                self,
+                rate=self.config.workload_rate,
+                payload_bytes=self.config.workload_payload_bytes,
+                seed=self.config.seed,
+            )
         self._built = True
         return self
 
@@ -87,6 +97,8 @@ class Cluster:
         horizon = duration if duration is not None else self.config.duration
         for replica in self.replicas:
             self.simulator.schedule_at(self.simulator.now, replica.start)
+        if self.workload is not None:
+            self.workload.start()
         for replica_id, crash_time in self.config.crash_schedule:
             self.simulator.schedule_at(
                 crash_time, self.replicas[replica_id].crash

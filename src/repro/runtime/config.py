@@ -77,6 +77,16 @@ class ExperimentConfig:
     # Block-sync / catch-up subprotocol (repro.sync); off preserves the
     # pre-sync runs byte-for-byte.
     sync_enabled: bool = True
+    # Throughput program: real-transaction workload, batching,
+    # pipelining, linear vote collection.  workload_rate = 0 keeps the
+    # synthetic-payload path byte-for-byte; linear_votes off keeps the
+    # all-to-all vote flow byte-for-byte.
+    workload_rate: float = 0.0
+    workload_payload_bytes: int = 64
+    batch_size: int = 256
+    max_batch_bytes: int = 0
+    pipelined_proposals: bool = False
+    linear_votes: bool = False
     # Run control.
     duration: float = 60.0
     seed: int = 1
@@ -162,6 +172,10 @@ class ExperimentConfig:
             block_batch_count=self.block_batch_count,
             block_batch_bytes=self.block_batch_bytes,
             sync_enabled=self.sync_enabled,
+            batch_size=self.batch_size,
+            max_batch_bytes=self.max_batch_bytes,
+            pipelined_proposals=self.pipelined_proposals,
+            linear_votes=self.linear_votes,
         )
         if self.protocol in ("streamlet", "sft-streamlet"):
             duration = self.streamlet_round_duration

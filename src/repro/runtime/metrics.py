@@ -103,6 +103,38 @@ def strong_latency_series(
     return series
 
 
+def percentile(samples, quantile: float) -> float | None:
+    """Deterministic nearest-rank percentile of ``samples``.
+
+    Sorted-sample nearest-rank (``ceil(q·n)``-th value, 1-indexed):
+    no interpolation, so the result is always an actual sample and the
+    computation is byte-stable across platforms and worker counts.
+    Returns ``None`` on empty input.
+    """
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * quantile // 1))  # ceil without math
+    return ordered[min(len(ordered), int(rank)) - 1]
+
+
+def commit_latency_percentiles(
+    cluster, quantiles=(0.5, 0.99), created_before: float | None = None
+) -> dict:
+    """Creation-to-commit latency percentiles over observer commits.
+
+    Returns ``{quantile: latency_or_None}`` over the same eligible
+    block set :func:`regular_commit_latency` averages.
+    """
+    samples = []
+    for replica in cluster.observer_replicas():
+        if replica.crashed:
+            continue
+        for event, _block in _eligible_blocks(replica, created_before):
+            samples.append(event.latency())
+    return {quantile: percentile(samples, quantile) for quantile in quantiles}
+
+
 def throughput_txps(cluster, duration: float | None = None) -> float:
     """Committed transactions per second, averaged over observers."""
     horizon = duration if duration is not None else cluster.simulator.now

@@ -89,6 +89,23 @@ class TimeoutMsg(Message):
 
 
 @dataclass(frozen=True, slots=True)
+class QCMsg(Message):
+    """⟨qc, B_k, r⟩ — an aggregated certificate broadcast by a collector.
+
+    Linear vote collection (the Linear-PBFT pattern): replicas send
+    their votes point-to-point to the round's collector, which forms
+    the QC and multicasts it in this envelope — one O(n) fan-in plus
+    one O(n) fan-out per decision instead of an O(n²) all-to-all vote
+    phase.  The message is self-certifying: the QC already carries
+    ``2f + 1`` individually signed votes, so no outer signature is
+    needed and receivers validate it with the usual
+    :meth:`~repro.types.quorum_cert.QuorumCertificate.validate`.
+    """
+
+    qc: QuorumCertificate
+
+
+@dataclass(frozen=True, slots=True)
 class NewRoundMsg(Message):
     """Advance notification carrying a TC to replicas that missed it."""
 
@@ -197,6 +214,7 @@ __all__ = [
     "Message",
     "ProposalMsg",
     "VoteMsg",
+    "QCMsg",
     "TimeoutMsg",
     "NewRoundMsg",
     "ExtraVotesMsg",

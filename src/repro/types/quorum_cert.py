@@ -81,18 +81,12 @@ class QuorumCertificate:
         return self._validate_uncached(registry, quorum)
 
     def _validate_uncached(self, registry: KeyRegistry, quorum: int) -> bool:
-        seen = set()
+        block_id = self.block_id
+        round_number = self.round
         for vote in self.votes:
-            if vote.block_id != self.block_id or vote.block_round != self.round:
+            if vote.block_id != block_id or vote.block_round != round_number:
                 return False
-            if vote.voter in seen:
-                continue
-            if vote.signature is None:
-                return False
-            if not registry.verify(vote.signing_payload(), vote.signature):
-                return False
-            seen.add(vote.voter)
-        return len(seen) >= quorum
+        return registry.verify_qc_votes(self.votes, quorum)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

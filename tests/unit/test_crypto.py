@@ -1,10 +1,13 @@
 """Hashing, signatures, and the PKI registry."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.crypto.hashing import HashDigest, hash_bytes, hash_fields
 from repro.crypto.registry import KeyRegistry
 from repro.crypto.signatures import Signature, SigningKey
+from repro.types.vote import Vote
 
 
 class TestHashing:
@@ -150,3 +153,88 @@ class TestVerificationMemo:
             message = b"m%d" % index
             registry.verify(message, registry.signing_key(0).sign(message))
         assert len(registry._verify_memo) <= 4
+
+
+def _signed_vote(registry, voter, block_id=None):
+    vote = Vote(
+        block_id=block_id or hash_bytes(b"block"),
+        block_round=3,
+        height=3,
+        voter=voter,
+    )
+    signature = registry.signing_key(voter).sign(vote.signing_payload())
+    return replace(vote, signature=signature)
+
+
+class TestFusedQCVerification:
+    """The one-pass ``verify_qc_votes`` hot path (QC validation)."""
+
+    def test_valid_quorum_accepted(self):
+        registry = KeyRegistry(4)
+        votes = [_signed_vote(registry, voter) for voter in range(3)]
+        assert registry.verify_qc_votes(votes, quorum=3)
+
+    def test_tampered_signature_fails_certificate(self):
+        registry = KeyRegistry(4)
+        votes = [_signed_vote(registry, voter) for voter in range(3)]
+        forged = replace(
+            votes[2], signature=Signature(signer=2, value=b"\x00" * 32)
+        )
+        assert not registry.verify_qc_votes(votes[:2] + [forged], quorum=3)
+
+    def test_missing_signature_fails_certificate(self):
+        registry = KeyRegistry(4)
+        votes = [_signed_vote(registry, voter) for voter in range(2)]
+        unsigned = Vote(
+            block_id=hash_bytes(b"block"), block_round=3, height=3, voter=2
+        )
+        assert not registry.verify_qc_votes(votes + [unsigned], quorum=3)
+
+    def test_out_of_range_signer_fails_certificate(self):
+        registry = KeyRegistry(4)
+        outsider = Vote(
+            block_id=hash_bytes(b"block"), block_round=3, height=3, voter=9
+        )
+        signature = SigningKey(9, b"x").sign(outsider.signing_payload())
+        outsider = replace(outsider, signature=signature)
+        assert not registry.verify_qc_votes([outsider], quorum=1)
+
+    def test_duplicate_voters_count_once(self):
+        registry = KeyRegistry(4)
+        vote = _signed_vote(registry, 0)
+        assert not registry.verify_qc_votes([vote, vote, vote], quorum=2)
+        assert registry.verify_qc_votes([vote, vote], quorum=1)
+
+    def test_sub_quorum_rejected(self):
+        registry = KeyRegistry(4)
+        votes = [_signed_vote(registry, voter) for voter in range(2)]
+        assert not registry.verify_qc_votes(votes, quorum=3)
+
+    def test_memoize_off_matches_memoized_verdicts(self, monkeypatch):
+        registry = KeyRegistry(4)
+        votes = [_signed_vote(registry, voter) for voter in range(3)]
+        forged = [
+            replace(
+                votes[0], signature=Signature(signer=0, value=b"\x11" * 32)
+            )
+        ] + votes[1:]
+        memoized = (
+            registry.verify_qc_votes(votes, quorum=3),
+            registry.verify_qc_votes(forged, quorum=3),
+        )
+        monkeypatch.setattr(KeyRegistry, "memoize", False)
+        cold = KeyRegistry(4)
+        assert (
+            cold.verify_qc_votes(votes, quorum=3),
+            cold.verify_qc_votes(forged, quorum=3),
+        ) == memoized
+        assert cold._verify_memo == {}
+
+    def test_shares_memo_entries_with_verify(self):
+        registry = KeyRegistry(4)
+        vote = _signed_vote(registry, 1)
+        assert registry.verify_qc_votes([vote], quorum=1)
+        entries = len(registry._verify_memo)
+        # The scalar path reuses the fused path's memo entry.
+        assert registry.verify(vote.signing_payload(), vote.signature)
+        assert len(registry._verify_memo) == entries

@@ -4,7 +4,7 @@ from repro.net.network import Network, NetworkConfig, wire_size_bytes
 from repro.net.simulator import Simulator
 from repro.net.topology import UniformTopology
 from repro.types.block import make_genesis
-from repro.types.messages import ProposalMsg, TimeoutMsg, VoteMsg
+from repro.types.messages import ProposalMsg, QCMsg, TimeoutMsg, VoteMsg
 from repro.types.transaction import Payload, TxBatch
 from repro.types.vote import Vote
 
@@ -198,6 +198,27 @@ class TestWireSizes:
         assert wire_size_bytes(VoteMsg(sender=0, vote=vote)) < wire_size_bytes(
             ProposalMsg(sender=0, round=1, block=block)
         )
+
+    def test_qc_msg_size_scales_with_vote_count(self):
+        # A QCMsg carries its certificate's votes on the wire, so its
+        # size grows with the quorum — and always exceeds one vote.
+        genesis, genesis_qc = make_genesis()
+        from dataclasses import replace
+
+        from repro.types.quorum_cert import QuorumCertificate
+
+        votes = tuple(
+            Vote(block_id=genesis.id(), block_round=1, height=1, voter=voter)
+            for voter in range(5)
+        )
+        small_qc = QuorumCertificate(
+            block_id=genesis.id(), round=1, height=1, votes=votes[:3]
+        )
+        big_qc = replace(small_qc, votes=votes)
+        small = wire_size_bytes(QCMsg(sender=0, qc=small_qc))
+        big = wire_size_bytes(QCMsg(sender=0, qc=big_qc))
+        assert small < big
+        assert small > wire_size_bytes(VoteMsg(sender=0, vote=votes[0]))
 
     def test_stats_track_types(self):
         simulator, network, _ = make_network()

@@ -94,6 +94,62 @@ class TestMempool:
         mempool.submit(txn)
         assert mempool.pending_count() == 1
 
+    def test_byte_cap_limits_payload(self):
+        # Each default transaction is 16 header bytes; a 40-byte cap
+        # fits two.
+        mempool = Mempool(max_block_transactions=10, max_block_bytes=40)
+        for sequence in range(5):
+            mempool.submit(self._txn(sequence))
+        assert mempool.make_payload(now=0.0).tx_count() == 2
+
+    def test_byte_cap_always_takes_one(self):
+        # A jumbo transaction larger than the cap must not wedge the
+        # queue: the first entry always ships.
+        mempool = Mempool(max_block_bytes=8)
+        mempool.submit(self._txn(0))
+        assert mempool.make_payload(now=0.0).tx_count() == 1
+
+    def test_stop_and_wait_re_proposes_same_front(self):
+        mempool = Mempool(max_block_transactions=2)
+        for sequence in range(4):
+            mempool.submit(self._txn(sequence))
+        first = mempool.make_payload(now=0.0)
+        second = mempool.make_payload(now=0.1)
+        assert first.transactions == second.transactions
+
+    def test_pipelined_drains_skip_in_flight(self):
+        mempool = Mempool(
+            max_block_transactions=2, pipelined=True, inflight_timeout=1.0
+        )
+        for sequence in range(4):
+            mempool.submit(self._txn(sequence))
+        first = mempool.make_payload(now=0.0)
+        second = mempool.make_payload(now=0.1)
+        assert first.transactions != second.transactions
+        assert {t.sequence for t in first.transactions} == {0, 1}
+        assert {t.sequence for t in second.transactions} == {2, 3}
+
+    def test_pipelined_in_flight_expires(self):
+        # A batch whose proposal went nowhere becomes eligible again
+        # once the in-flight timeout lapses.
+        mempool = Mempool(
+            max_block_transactions=2, pipelined=True, inflight_timeout=1.0
+        )
+        mempool.submit(self._txn(0))
+        first = mempool.make_payload(now=0.0)
+        assert mempool.make_payload(now=0.5).tx_count() == 0
+        redo = mempool.make_payload(now=1.5)
+        assert redo.transactions == first.transactions
+
+    def test_commit_clears_in_flight(self):
+        mempool = Mempool(pipelined=True, inflight_timeout=10.0)
+        txn = self._txn(0)
+        mempool.submit(txn)
+        mempool.make_payload(now=0.0)
+        mempool.remove_committed([txn])
+        assert mempool.pending_count() == 0
+        assert mempool._in_flight == {}
+
 
 class TestLatencyReport:
     def test_reached_fraction(self):
