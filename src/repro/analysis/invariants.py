@@ -114,16 +114,27 @@ def check_definition_1(replicas, actual_faults: int, expected: bool = False):
 
 
 def check_prefix_consistency(replicas):
-    """Committed chains are per-replica chains and cross-replica consistent."""
+    """Committed chains are per-replica chains and cross-replica consistent.
+
+    A replica that joined through a checkpoint snapshot legitimately
+    jumps from its pre-partition history straight to the checkpoint
+    height (the skipped prefix is certified by the 2f+1 checkpoint
+    digest, not by local commit events); those recorded join heights
+    are excused from the per-replica gap and parent-linkage checks.
+    Cross-replica agreement at every height is still enforced in full.
+    """
     violations = []
     by_height: dict[int, tuple] = {}
     for replica in replicas:
         events = sorted(
             replica.commit_tracker.commit_order, key=lambda event: event.height
         )
+        snapshot_heights = getattr(
+            replica.commit_tracker, "snapshot_heights", frozenset()
+        )
         previous = None
         for event in events:
-            if previous is not None:
+            if previous is not None and event.height not in snapshot_heights:
                 if event.height != previous.height + 1:
                     violations.append(
                         InvariantViolation(

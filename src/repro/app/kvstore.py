@@ -78,9 +78,17 @@ class KVStateMachine:
         elif command.op == "del":
             self._state.pop(command.key, None)
         elif command.op == "transfer":
-            source = int(self._state.get(command.key, "0") or "0")
-            destination = int(self._state.get(command.key2, "0") or "0")
-            if command.amount < 0 or source < command.amount:
+            source = self._as_int(self._state.get(command.key, "0"))
+            destination = self._as_int(self._state.get(command.key2, "0"))
+            if (
+                source is None
+                or destination is None
+                or command.amount < 0
+                or source < command.amount
+            ):
+                # Externally invalid (Section 2): insufficient balance,
+                # or an endpoint holding a non-numeric value (the key
+                # spaces of set and transfer overlap by design).
                 self.rejected += 1
                 return False
             if command.key != command.key2:
@@ -91,6 +99,13 @@ class KVStateMachine:
             return False
         self.applied += 1
         return True
+
+    @staticmethod
+    def _as_int(value) -> int | None:
+        try:
+            return int(value or "0")
+        except ValueError:
+            return None
 
     def apply_transaction(self, transaction: Transaction) -> bool:
         command = KVCommand.decode(transaction.payload)
@@ -112,6 +127,14 @@ class KVStateMachine:
 
     def snapshot(self) -> dict:
         return dict(self._state)
+
+    def items(self) -> tuple:
+        """The full state as sorted ``(key, value)`` pairs (wire form)."""
+        return tuple(sorted(self._state.items()))
+
+    def install(self, items) -> None:
+        """Replace the full state with a snapshot's key/value pairs."""
+        self._state = {key: value for key, value in items}
 
 
 class LedgerExecutor:
@@ -138,25 +161,70 @@ class LedgerExecutor:
         deduplicates by transaction id — the standard SMR exactly-once
         rule.
         """
-        commit_order = self.replica.commit_tracker.commit_order
-        store = self.replica.store
         applied = 0
-        while self._cursor < len(commit_order):
-            event = commit_order[self._cursor]
-            self._cursor += 1
-            block = store.maybe_get(event.block_id)
-            if block is None:
-                continue
-            for transaction in block.payload.transactions:
-                txid = transaction.txid()
-                if txid in self._applied_txids:
-                    self.duplicates_skipped += 1
-                    continue
-                self._applied_txids.add(txid)
-                self.state.apply_transaction(transaction)
-            self.blocks_executed += 1
+        while self.sync_next() is not None:
             applied += 1
         return applied
+
+    def sync_next(self):
+        """Apply exactly one pending commit event; None when caught up.
+
+        Returns the :class:`~repro.core.commit_rules.CommitEvent` just
+        consumed (whether or not its block was still in the store) so a
+        caller — e.g. the checkpoint manager — can observe the executed
+        state at an exact commit height before applying the next one.
+        """
+        commit_order = self.replica.commit_tracker.commit_order
+        if self._cursor >= len(commit_order):
+            return None
+        event = commit_order[self._cursor]
+        self._cursor += 1
+        block = self.replica.store.maybe_get(event.block_id)
+        if block is None:
+            return event
+        for transaction in block.payload.transactions:
+            txid = transaction.txid()
+            if txid in self._applied_txids:
+                self.duplicates_skipped += 1
+                continue
+            self._applied_txids.add(txid)
+            self.state.apply_transaction(transaction)
+        self.blocks_executed += 1
+        return event
+
+    def install_snapshot(
+        self,
+        state_items,
+        applied_txids,
+        cursor: int,
+        applied_count: int = 0,
+        rejected_count: int = 0,
+    ) -> None:
+        """Replace the executor's world with a validated checkpoint.
+
+        ``cursor`` is the commit-log position already reflected in the
+        snapshot (execution resumes from there); ``applied_txids`` is
+        the dedup set at the checkpoint boundary — without it a
+        transaction committed both below and above the checkpoint would
+        be applied twice on the joiner and its state would diverge.
+        """
+        self.state = KVStateMachine()
+        self.state.install(state_items)
+        self.state.applied = applied_count
+        self.state.rejected = rejected_count
+        self._applied_txids = set(applied_txids)
+        self._cursor = cursor
+        self.blocks_executed = 0
+        self.duplicates_skipped = 0
+
+    @property
+    def cursor(self) -> int:
+        """Commit-log position the executor has applied through."""
+        return self._cursor
+
+    def applied_txids(self) -> tuple:
+        """The dedup set as a sorted tuple (digest/wire form)."""
+        return tuple(sorted(self._applied_txids, key=lambda txid: txid.value))
 
     def state_hash(self) -> HashDigest:
         return self.state.state_hash()

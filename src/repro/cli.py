@@ -486,7 +486,7 @@ def _load_bench_file(path):
         raise SystemExit(2) from error
 
 
-def _print_bench_warnings(current, baseline) -> None:
+def _print_bench_warnings(current, baseline) -> list:
     """Surface cases present in only one report (partial coverage)."""
     from repro.perf import coverage_warnings
 
@@ -495,6 +495,7 @@ def _print_bench_warnings(current, baseline) -> None:
         print(f"\nbench coverage: {len(warnings)} warning(s)")
         for warning in warnings:
             print(f"  warning: {warning}")
+    return warnings
 
 
 def _report_bench_regressions(regressions, threshold) -> int:
@@ -514,7 +515,7 @@ def command_bench_compare(args) -> int:
     current = _load_bench_file(args.report)
     baseline = _load_bench_file(args.baseline)
     print(format_comparison(current, baseline))
-    _print_bench_warnings(current, baseline)
+    warnings = _print_bench_warnings(current, baseline)
     try:
         regressions = compare_benchmarks(
             current, baseline, threshold=args.threshold
@@ -522,7 +523,17 @@ def command_bench_compare(args) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    return _report_bench_regressions(regressions, args.threshold)
+    exit_code = _report_bench_regressions(regressions, args.threshold)
+    if args.strict_coverage and warnings:
+        # A renamed or dropped case would otherwise escape the gate by
+        # simply not being compared.
+        print(
+            f"bench gate: strict coverage failed — {len(warnings)} case(s) "
+            "present in only one report",
+            file=sys.stderr,
+        )
+        return exit_code or 1
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -665,6 +676,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
     bench_compare.add_argument("--threshold", type=float, default=0.20,
                                help="relative events/sec regression threshold")
+    bench_compare.add_argument("--strict-coverage", action="store_true",
+                               help="fail when a case is present in only "
+                                    "one report (renames/drops escape the "
+                                    "gate otherwise)")
     bench_compare.set_defaults(handler=command_bench_compare)
 
     return parser

@@ -86,6 +86,11 @@ class CommitTracker:
         self._max_strength = max_strength(f)
         self._quorum = 2 * f + 1
         self.highest_committed_round = 0
+        #: Commit heights installed via snapshot transfer rather than
+        #: 3-chain detection: a joiner's commit log legitimately jumps
+        #: to the checkpoint height, and the prefix-consistency oracle
+        #: excuses exactly these gaps.
+        self.snapshot_heights: set[int] = set()
         if endorsement is not None and rule == "diembft":
             endorsement.add_listener(self._on_endorser_update)
 
@@ -169,6 +174,16 @@ class CommitTracker:
 
     def is_committed(self, block_id: BlockId) -> bool:
         return block_id in self.committed
+
+    def forget_pruned(self, pruned) -> None:
+        """Drop 3-chain work state anchored at truncated blocks.
+
+        Strength timelines survive (they are observer metrics the
+        analysis layer reads after the run); only the active-triple
+        work set shrinks, since a pruned anchor can never fire again.
+        """
+        for anchor_id in [a for a in self._active_triples if a in pruned]:
+            del self._active_triples[anchor_id]
 
     # ------------------------------------------------------------------
     # strong commits

@@ -83,6 +83,18 @@ class EndorsementTracker:
         """Register ``listener(block, count, now)`` for round-mode growth."""
         self._listeners.append(listener)
 
+    def forget_pruned(self, pruned) -> None:
+        """Drop per-block state for checkpoint-truncated blocks.
+
+        Pruned blocks sit below the stable checkpoint (or on forks
+        abandoned below it); their endorser counts can never again be
+        queried by a commit rule, so the bookkeeping is released to keep
+        long-running memory bounded.
+        """
+        for block_id in pruned:
+            self._states.pop(block_id, None)
+            self._processed_qcs.discard(block_id)
+
     def _state(self, block_id: BlockId) -> _BlockEndorsementState:
         state = self._states.get(block_id)
         if state is None:

@@ -79,6 +79,20 @@ class VotingHistory:
         """Current maximal voted blocks, one per live fork."""
         return tuple(self._tips)
 
+    def forget_pruned(self, pruned) -> None:
+        """Drop voted blocks removed by checkpoint truncation.
+
+        Pruned blocks lie strictly below (or on forks abandoned below)
+        the stable checkpoint, which carries a 2f+1 commit certificate;
+        conflicts with them can no longer affect any live block, so —
+        exactly like PBFT discarding pre-checkpoint log entries — their
+        marker contribution is safely forgotten.
+        """
+        self._tips = [tip for tip in self._tips if tip not in pruned]
+        self._all_votes = [
+            voted for voted in self._all_votes if voted not in pruned
+        ]
+
     def vote_count(self) -> int:
         return len(self._all_votes)
 

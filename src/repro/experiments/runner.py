@@ -180,6 +180,35 @@ def collect_job_metrics(cluster, spec) -> dict:
         for key, value in manager.stats().items():
             sync_totals[key] += value
 
+    # Checkpoint subprotocol totals (zeros when checkpointing is off).
+    checkpoint_totals = {
+        "checkpoints_signed": 0,
+        "certificates_formed": 0,
+        "blocks_truncated": 0,
+        "snapshots_served": 0,
+        "snapshots_installed": 0,
+        "invalid_snapshots": 0,
+        "peer_rotations": 0,
+    }
+    checkpoint_enabled = False
+    stable_height = 0
+    for replica in cluster.replicas:
+        manager = getattr(replica, "checkpoint", None)
+        if manager is None:
+            continue
+        checkpoint_enabled = True
+        for key, value in manager.stats().items():
+            checkpoint_totals[key] += value
+        stable_height = max(stable_height, manager.stable_height())
+    peak_live_blocks = max(
+        (
+            replica.store.peak_live_blocks
+            for replica in cluster.replicas
+            if getattr(replica, "store", None) is not None
+        ),
+        default=0,
+    )
+
     metrics = {
         "commits": len(reference.commit_tracker.commit_order),
         "rounds": reference.current_round,
@@ -218,6 +247,12 @@ def collect_job_metrics(cluster, spec) -> dict:
         },
         "txs": _workload_metrics(cluster, reference),
         "sync": {"enabled": sync_enabled, **sync_totals},
+        "checkpoint": {
+            "enabled": checkpoint_enabled,
+            "stable_height": stable_height,
+            "peak_live_blocks": peak_live_blocks,
+            **checkpoint_totals,
+        },
         "safety_ok": safety_ok,
         "strong_safety_violations": strong_violations,
         "invariants": invariant_report(invariant_violations),

@@ -239,6 +239,11 @@ class ScenarioSpec:
     max_batch_bytes: int = 0
     pipelined_proposals: bool = False
     linear_votes: bool = False
+    # Checkpoint subprotocol: sign state digests every this-many
+    # commits; 2f+1 matching digests truncate history below the stable
+    # checkpoint and let far-behind replicas join via snapshot
+    # transfer.  0 (default) replays pre-checkpoint runs byte-for-byte.
+    checkpoint_interval: int = 0
     # Run control.
     duration: float = 10.0
     seeds: tuple = (1,)
@@ -274,6 +279,7 @@ class ScenarioSpec:
             _require_finite(name, getattr(self, name))
         _require_count("workload_payload_bytes", self.workload_payload_bytes)
         _require_count("max_batch_bytes", self.max_batch_bytes)
+        _require_count("checkpoint_interval", self.checkpoint_interval)
         if (
             not isinstance(self.batch_size, int)
             or isinstance(self.batch_size, bool)
@@ -363,6 +369,7 @@ class ScenarioSpec:
             max_batch_bytes=self.max_batch_bytes,
             pipelined_proposals=self.pipelined_proposals,
             linear_votes=self.linear_votes,
+            checkpoint_interval=self.checkpoint_interval,
             duration=self.duration,
             seed=self.seeds[0] if seed is None else seed,
             observers=self.observers,

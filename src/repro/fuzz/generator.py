@@ -53,6 +53,14 @@ class FuzzProfile:
     is how often a crash under linear vote collection is re-aimed at a
     round the victim *collects* (it leads ``r + 1``) — the schedule
     family where a crashed collector swallows a whole round's votes.
+
+    The checkpoint axes likewise use their own stream
+    (``sft-fuzz-checkpoint:{name}:{seed}``): ``checkpoint_rate`` turns
+    the checkpoint/truncation subprotocol on with a sampled interval,
+    and ``snapshot_lag_rate`` is how often such a run *additionally*
+    isolates one replica behind a partition window long enough that
+    rejoining requires a snapshot transfer rather than block-sync —
+    the schedule family that exercises state-transfer validation.
     """
 
     name: str = "default"
@@ -74,6 +82,8 @@ class FuzzProfile:
     linear_votes_rate: float = 0.3
     batching_rate: float = 0.25
     collector_crash_rate: float = 0.5
+    checkpoint_rate: float = 0.3
+    snapshot_lag_rate: float = 0.5
 
 
 DEFAULT_PROFILE = FuzzProfile()
@@ -269,6 +279,29 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
             crash_at=round(min(target_round * per_round, duration * 0.7), 4),
         )
 
+    # Checkpoint axes: own stream, kwargs only added when sampled on,
+    # so every pre-existing seed's schedule stays byte-identical.
+    checkpoint_rng = random.Random(f"sft-fuzz-checkpoint:{profile.name}:{seed}")
+    checkpoint_kwargs: dict = {}
+    if checkpoint_rng.random() < profile.checkpoint_rate:
+        checkpoint_kwargs["checkpoint_interval"] = checkpoint_rng.choice((2, 4, 8))
+        if checkpoint_rng.random() < profile.snapshot_lag_rate:
+            # Isolate the last replica for a window long enough that it
+            # falls more than an interval behind the stable checkpoint:
+            # rejoining then needs a snapshot, not just block-sync.
+            lag_start = round(checkpoint_rng.uniform(0.5, 2.0), 3)
+            lag_end = round(lag_start + checkpoint_rng.uniform(2.0, 5.0), 3)
+            lagged = PartitionWindow(
+                start=lag_start,
+                end=min(lag_end, round(duration * 0.7, 3)),
+                groups=(tuple(range(n - 1)), (n - 1,)),
+            )
+            partitions = tuple(
+                sorted(
+                    partitions + (lagged,), key=lambda window: window.start
+                )
+            )
+
     return ScenarioSpec(
         name=name,
         protocol=protocol,
@@ -285,4 +318,5 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
         seeds=(seed,),
         **topology_kwargs,
         **throughput_kwargs,
+        **checkpoint_kwargs,
     )

@@ -124,6 +124,8 @@ def _candidate_overrides(spec: ScenarioSpec):
         yield {"pipelined_proposals": False}
     if spec.linear_votes:
         yield {"linear_votes": False}
+    if spec.checkpoint_interval:
+        yield {"checkpoint_interval": 0}
     if spec.gst or spec.pre_gst_delay:
         yield {"gst": 0.0, "pre_gst_delay": 0.0}
     if spec.jitter:

@@ -28,10 +28,13 @@ from dataclasses import dataclass, field
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 from repro.types.messages import (
+    CheckpointMsg,
     EchoMsg,
     ExtraVotesMsg,
     ProposalMsg,
     QCMsg,
+    SnapshotRequestMsg,
+    SnapshotResponseMsg,
     SyncRequestMsg,
     SyncResponseMsg,
     TimeoutMsg,
@@ -87,6 +90,30 @@ def _sync_response_size(message) -> int:
     return size
 
 
+def _checkpoint_size(message) -> int:
+    del message
+    # height int + checkpoint block hash + state digest + signature.
+    return _HEADER_SIZE + 8 + 2 * _HASH_SIZE
+
+
+def _snapshot_request_size(message) -> int:
+    del message
+    return _HEADER_SIZE + 16  # min-height + nonce ints
+
+
+def _snapshot_response_size(message) -> int:
+    # The dominant cost is the full kvstore image; each entry ships its
+    # key/value strings, each applied txid a hash, each certificate
+    # signer a (id, signature) pair, plus the checkpoint block itself.
+    size = _HEADER_SIZE + 8 + 2 * _HASH_SIZE
+    size += sum(len(key) + len(value) + 8 for key, value in message.state)
+    size += _HASH_SIZE * len(message.applied_txids)
+    size += (_HASH_SIZE + 8) * len(message.cert_signers)
+    if message.block is not None:
+        size += message.block.payload.size_bytes() + _QC_SIZE + _HEADER_SIZE
+    return size
+
+
 def _extra_votes_size(message) -> int:
     if message.votes:
         return _HEADER_SIZE + sum(
@@ -123,6 +150,9 @@ _WIRE_SIZERS: dict = {
     EchoMsg: _echo_size,
     SyncRequestMsg: _sync_request_size,
     SyncResponseMsg: _sync_response_size,
+    CheckpointMsg: _checkpoint_size,
+    SnapshotRequestMsg: _snapshot_request_size,
+    SnapshotResponseMsg: _snapshot_response_size,
 }
 
 #: Resolution order for subclasses — mirrors the old isinstance chain.
@@ -135,6 +165,9 @@ _MESSAGE_BASES = (
     EchoMsg,
     SyncRequestMsg,
     SyncResponseMsg,
+    CheckpointMsg,
+    SnapshotRequestMsg,
+    SnapshotResponseMsg,
 )
 
 

@@ -162,6 +162,39 @@ def _sync_case(duration: float) -> BenchmarkCase:
     )
 
 
+def _checkpoint_join_case(duration: float) -> BenchmarkCase:
+    """The checkpoint/snapshot-join workload: one replica isolated long
+    enough that rejoining needs a state snapshot, not block-by-block
+    replay.  Tracked for trend (plus ``peak_live_blocks``, the memory
+    bound truncation exists to enforce) — like ``sync_catchup_n16`` it
+    has no pre-checkpoint baseline entry."""
+    return BenchmarkCase(
+        name="checkpoint_join_n64",
+        category="checkpoint",
+        description=(
+            "n=64 with checkpointing every 8 commits and one replica "
+            "partitioned away: log truncation bounds live blocks while "
+            "the laggard rejoins via snapshot transfer instead of full "
+            "replay"
+        ),
+        spec=_spec(
+            "checkpoint_join_n64",
+            n=64,
+            duration=duration,
+            sync_enabled=True,
+            checkpoint_interval=8,
+            workload_rate=200.0,
+            partitions=(
+                PartitionWindow(
+                    start=1.0,
+                    end=round(duration * 0.6, 3),
+                    groups=(tuple(range(63)), (63,)),
+                ),
+            ),
+        ),
+    )
+
+
 def _throughput_cases(duration: float, linear_duration: float) -> list:
     """The real-transaction pipeline: mempool → batch → commit."""
     workload = dict(workload_rate=2000.0, workload_payload_bytes=64,
@@ -216,12 +249,18 @@ def _throughput_cases(duration: float, linear_duration: float) -> list:
 def _fuzz_cases(seeds: tuple) -> list:
     from repro.fuzz.generator import SMOKE_PROFILE, generate_spec
 
-    # Zero the throughput-axis rates so these cases reproduce the
-    # schedules the committed baselines were recorded against (the
-    # axes draw from a separate RNG stream, so zeroed rates leave the
-    # base schedule byte-identical — including collector-aimed
-    # crash_at retargeting, which with_overrides could not undo).
-    profile = replace(SMOKE_PROFILE, linear_votes_rate=0.0, batching_rate=0.0)
+    # Zero the throughput- and checkpoint-axis rates so these cases
+    # reproduce the schedules the committed baselines were recorded
+    # against (the axes draw from separate RNG streams, so zeroed
+    # rates leave the base schedule byte-identical — including
+    # collector-aimed crash_at retargeting, which with_overrides could
+    # not undo).
+    profile = replace(
+        SMOKE_PROFILE,
+        linear_votes_rate=0.0,
+        batching_rate=0.0,
+        checkpoint_rate=0.0,
+    )
     cases = []
     for seed in seeds:
         # Pin sync off so the case replays against pre-sync baselines
@@ -257,6 +296,7 @@ def full_suite() -> tuple:
             _fault_case(duration=15.0),
             _bandwidth_case(duration=15.0),
             _sync_case(duration=15.0),
+            _checkpoint_join_case(duration=6.0),
         ]
         + _throughput_cases(duration=15.0, linear_duration=4.0)
         + _fuzz_cases((1, 3, 6, 10))
@@ -273,6 +313,7 @@ def smoke_suite() -> tuple:
             _fault_case(duration=6.0),
             _bandwidth_case(duration=6.0),
             _sync_case(duration=6.0),
+            _checkpoint_join_case(duration=4.0),
         ]
         + _throughput_cases(duration=5.0, linear_duration=1.5)
         + _fuzz_cases((3, 7))
@@ -351,6 +392,15 @@ def run_suite(cases, repeats: int = 3, workers: int = 1, progress=None) -> list:
                 ),
                 "commit_latency_p50_s": metrics.get("regular_latency_p50_s"),
                 "commit_latency_p99_s": metrics.get("regular_latency_p99_s"),
+                # Memory bound tracked by the checkpoint subprotocol
+                # (populated for every case; truncation only shrinks it
+                # when checkpointing is enabled).
+                "peak_live_blocks": metrics.get("checkpoint", {}).get(
+                    "peak_live_blocks"
+                ),
+                "snapshots_installed": metrics.get("checkpoint", {}).get(
+                    "snapshots_installed"
+                ),
                 "wall_clock_s": round(wall, 6),
                 "wall_clock_runs": [round(value, 6) for value in walls],
                 "events_per_sec": round(events / wall, 3) if wall > 0 else None,

@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 from repro.crypto.registry import KeyRegistry
 from repro.net.network import Network
 from repro.net.simulator import Simulator, TimerHandle
-from repro.types.messages import SyncRequestMsg, SyncResponseMsg
+from repro.types.messages import (
+    CheckpointMsg,
+    SnapshotRequestMsg,
+    SnapshotResponseMsg,
+    SyncRequestMsg,
+    SyncResponseMsg,
+)
 
 
 def round_robin_leader(round_number: int, n: int) -> int:
@@ -70,7 +76,14 @@ class ReplicaConfig:
       aggregated QC (:class:`~repro.types.messages.QCMsg`), making the
       vote phase O(n) instead of all-to-all.  Off preserves the
       pre-feature message flow byte-for-byte, same discipline as
-      ``sync_enabled``.
+      ``sync_enabled``;
+    * ``checkpoint_interval`` — the PBFT checkpoint subprotocol
+      (:mod:`repro.sync.checkpoint`): every this-many commits each
+      replica signs a digest of its executed kvstore state; ``2f + 1``
+      matching digests form a stable checkpoint that truncates history
+      below it and lets far-behind replicas join via snapshot transfer
+      instead of full replay.  0 (the default) disables it entirely,
+      preserving pre-feature runs byte-for-byte.
     """
 
     n: int
@@ -95,6 +108,7 @@ class ReplicaConfig:
     max_batch_bytes: int = 0
     pipelined_proposals: bool = False
     linear_votes: bool = False
+    checkpoint_interval: int = 0
     leader_fn: object = field(default=None)
 
     def quorum(self) -> int:
@@ -150,6 +164,7 @@ class BaseReplica:
         self.crashed = False
         self.crash_at: float | None = None
         self.sync = None  # SyncManager, attached by _init_sync()
+        self.checkpoint = None  # CheckpointManager, via _init_checkpoint()
 
     def _init_sync(self) -> None:
         """Attach the block-sync manager (subclasses call after the
@@ -158,6 +173,15 @@ class BaseReplica:
             from repro.sync import SyncManager
 
             self.sync = SyncManager(self)
+
+    def _init_checkpoint(self) -> None:
+        """Attach the checkpoint manager (subclasses call after the
+        block store and commit tracker exist; no-op when
+        ``checkpoint_interval`` is 0)."""
+        if self.config.checkpoint_interval > 0:
+            from repro.sync import CheckpointManager
+
+            self.checkpoint = CheckpointManager(self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -187,8 +211,22 @@ class BaseReplica:
             return
         if isinstance(message, SyncResponseMsg):
             self._on_sync_response(src, message)
+            self._poll_checkpoint()
             return
+        if self.checkpoint is not None:
+            if isinstance(message, CheckpointMsg):
+                self.checkpoint.on_checkpoint(src, message)
+                self._poll_checkpoint()
+                return
+            if isinstance(message, SnapshotRequestMsg):
+                self.checkpoint.serve_snapshot(src, message)
+                return
+            if isinstance(message, SnapshotResponseMsg):
+                self.checkpoint.on_snapshot_response(src, message)
+                self._poll_checkpoint()
+                return
         self.on_message(src, message)
+        self._poll_checkpoint()
 
     # ------------------------------------------------------------------
     # sync plumbing (shared by both protocol families)
@@ -216,6 +254,26 @@ class BaseReplica:
     def _handle_inserted_blocks(self, inserted) -> None:
         """Provided by the protocol families (post-insertion path)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing (shared by both protocol families)
+    # ------------------------------------------------------------------
+
+    def _poll_checkpoint(self) -> None:
+        """Let the checkpoint manager observe newly committed blocks.
+
+        Every commit is triggered by some delivered message (votes,
+        QCs, proposals, sync responses), so polling after delivery
+        sees each one; with checkpointing off this is a no-op check.
+        """
+        if self.checkpoint is not None and not self.crashed:
+            self.checkpoint.poll(self.context.now)
+
+    def _on_truncated(self, pruned) -> None:
+        """History below a stable checkpoint was pruned; clear memo
+        state keyed by the dropped block ids.  Protocol families extend
+        this with their own per-block structures."""
+        self.commit_tracker.forget_pruned(pruned)
 
     # ------------------------------------------------------------------
     # protocol-specific holes (Figure 1)

@@ -87,6 +87,7 @@ class DiemBFTReplica(BaseReplica):
         self.timeouts_sent = 0
         self.invalid_messages = 0
         self._init_sync()
+        self._init_checkpoint()
 
     # ------------------------------------------------------------------
     # construction hooks (overridden by subclasses)
@@ -495,6 +496,21 @@ class DiemBFTReplica(BaseReplica):
                 self.invalid_messages += 1
                 return
         self._aggregate_vote(vote)
+
+    # ------------------------------------------------------------------
+    # checkpoint truncation
+    # ------------------------------------------------------------------
+
+    def _on_truncated(self, pruned) -> None:
+        super()._on_truncated(pruned)
+        for block_id in pruned:
+            self._collected_votes.pop(block_id, None)
+            self._vote_block_info.pop(block_id, None)
+            self._formed_qcs.discard(block_id)
+            self._pending_qc_forms.discard(block_id)
+            self._qcs_processed.discard(block_id)
+            self._pending_qcs.pop(block_id, None)
+            self._orphan_proposals.pop(block_id, None)
 
     # ------------------------------------------------------------------
     # introspection helpers (used by runtime/metrics/tests)

@@ -91,6 +91,12 @@ class SFTDiemBFTReplica(DiemBFTReplica):
     def _after_vote(self, block: Block) -> None:
         self.voting_history.record_vote(block)
 
+    def _on_truncated(self, pruned) -> None:
+        super()._on_truncated(pruned)
+        self.voting_history.forget_pruned(pruned)
+        if self.endorsement is not None:
+            self.endorsement.forget_pruned(pruned)
+
     def _on_new_certification(self, qc: QuorumCertificate, now: float) -> None:
         # Feed endorsements before the commit check so that a 3-chain
         # completed by this QC is immediately evaluated with fresh counts.

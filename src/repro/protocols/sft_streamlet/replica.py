@@ -80,6 +80,12 @@ class SFTStreamletReplica(StreamletReplica):
     def _after_vote(self, block: Block) -> None:
         self.voting_history.record_vote(block)
 
+    def _on_truncated(self, pruned) -> None:
+        super()._on_truncated(pruned)
+        self.voting_history.forget_pruned(pruned)
+        if self.endorsement is not None:
+            self.endorsement.forget_pruned(pruned)
+
     def _ingest_vote_for_endorsement(self, vote, now: float) -> None:
         if self.endorsement is not None:
             self.endorsement.add_vote(vote, now)

@@ -64,6 +64,7 @@ class StreamletReplica(BaseReplica):
         self.votes_sent = 0
         self.invalid_messages = 0
         self._init_sync()
+        self._init_checkpoint()
 
     # ------------------------------------------------------------------
     # construction hooks (overridden by SFT-Streamlet)
@@ -374,6 +375,27 @@ class StreamletReplica(BaseReplica):
             self._pending_qcs.setdefault(qc.block_id, qc)
             if self.sync is not None and not qc.is_genesis():
                 self.sync.note_missing(qc.block_id)
+
+    # ------------------------------------------------------------------
+    # checkpoint truncation
+    # ------------------------------------------------------------------
+
+    def _on_truncated(self, pruned) -> None:
+        super()._on_truncated(pruned)
+        for block_id in pruned:
+            self._collected_votes.pop(block_id, None)
+            self._vote_block_info.pop(block_id, None)
+            self._formed_qcs.discard(block_id)
+            self._qcs_processed.discard(block_id)
+            self._pending_qcs.pop(block_id, None)
+            self._orphan_proposals.pop(block_id, None)
+            self._seen_message_keys.discard(("proposal", block_id))
+            self._seen_message_keys.discard(("qc", block_id))
+        self._seen_message_keys = {
+            key
+            for key in self._seen_message_keys
+            if not (key[0] == "vote" and key[1] in pruned)
+        }
 
     # ------------------------------------------------------------------
     # introspection

@@ -87,6 +87,10 @@ class ExperimentConfig:
     max_batch_bytes: int = 0
     pipelined_proposals: bool = False
     linear_votes: bool = False
+    # Checkpointing (repro.sync.checkpoint): every this-many commits
+    # replicas sign state digests; 2f+1 matching digests truncate
+    # history and enable snapshot joins.  0 keeps runs byte-for-byte.
+    checkpoint_interval: int = 0
     # Run control.
     duration: float = 60.0
     seed: int = 1
@@ -176,6 +180,7 @@ class ExperimentConfig:
             max_batch_bytes=self.max_batch_bytes,
             pipelined_proposals=self.pipelined_proposals,
             linear_votes=self.linear_votes,
+            checkpoint_interval=self.checkpoint_interval,
         )
         if self.protocol in ("streamlet", "sft-streamlet"):
             duration = self.streamlet_round_duration

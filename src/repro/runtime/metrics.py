@@ -109,12 +109,16 @@ def percentile(samples, quantile: float) -> float | None:
     Sorted-sample nearest-rank (``ceil(q·n)``-th value, 1-indexed):
     no interpolation, so the result is always an actual sample and the
     computation is byte-stable across platforms and worker counts.
-    Returns ``None`` on empty input.
+    Returns ``None`` on empty input.  ``quantile`` must lie in
+    ``(0, 1]``: values outside would silently clamp to the minimum or
+    maximum sample, which is never what the caller meant.
     """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile!r}")
     if not samples:
         return None
     ordered = sorted(samples)
-    rank = max(1, -(-len(ordered) * quantile // 1))  # ceil without math
+    rank = -(-len(ordered) * quantile // 1)  # ceil without math
     return ordered[min(len(ordered), int(rank)) - 1]
 
 

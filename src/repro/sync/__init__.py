@@ -10,6 +10,7 @@ peers, with retry, peer rotation, and QC re-validation before any
 block enters the local :class:`~repro.types.chain.BlockStore`.
 """
 
+from repro.sync.checkpoint import CheckpointManager
 from repro.sync.manager import SyncManager
 
-__all__ = ["SyncManager"]
+__all__ = ["CheckpointManager", "SyncManager"]

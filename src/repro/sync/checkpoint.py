@@ -1,0 +1,526 @@
+"""Per-replica checkpoint subprotocol: stable state digests above sync.
+
+Block-sync (:mod:`repro.sync.manager`) lets a replica fetch certified
+chains it missed, but two unbounded costs remain for long-running
+traffic: every replica's :class:`~repro.types.chain.BlockStore` keeps
+the full history forever, and a replica thousands of rounds behind must
+replay everything from genesis.  The PBFT checkpoint subprotocol
+(Castro–Liskov §4.3) closes both, adapted here to chained BFT:
+
+* every ``checkpoint_interval`` commits, each replica runs its own
+  :class:`~repro.app.kvstore.LedgerExecutor` up to exactly that commit
+  height and multicasts a signed :class:`CheckpointMsg` carrying a
+  digest over ``(height, block, kvstore state, applied txids)``;
+* ``2f + 1`` matching digests from distinct signers form a **stable
+  checkpoint certificate** — proof the state is durable at ``f``
+  Byzantine faults — letting every replica truncate blocks below the
+  checkpoint and drop stale orphans/QCs/memo entries;
+* a replica that discovers a stable checkpoint more than one interval
+  ahead of its own committed height joins via
+  :class:`SnapshotRequestMsg` / :class:`SnapshotResponseMsg` — full
+  kvstore image + certificate, validated whole before any mutation
+  (the block-sync discipline), then suffix-synced through the ordinary
+  :class:`~repro.sync.manager.SyncManager` path.
+
+The digest deliberately includes the executor's applied-transaction-id
+set: a transaction proposed below the checkpoint and re-proposed above
+it must be deduplicated on the joiner too, or its state diverges from
+replicas that replayed the full log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.app.kvstore import LedgerExecutor
+from repro.core.commit_rules import CommitEvent
+from repro.crypto.hashing import hash_fields
+from repro.types.messages import (
+    CheckpointMsg,
+    SnapshotRequestMsg,
+    SnapshotResponseMsg,
+)
+
+
+def state_digest(height, block_id, state_items, applied_txids):
+    """The digest 2f+1 replicas must agree on for a stable checkpoint."""
+    return hash_fields(
+        "checkpoint-state",
+        height,
+        block_id.value,
+        tuple(state_items),
+        tuple(txid.value for txid in applied_txids),
+    )
+
+
+@dataclass(slots=True)
+class _Snapshot:
+    """One locally executed checkpoint image, kept until superseded."""
+
+    height: int
+    block_id: object
+    digest: object
+    state: tuple
+    applied_txids: tuple
+    applied_count: int
+    rejected_count: int
+
+
+@dataclass(slots=True)
+class _StableCheckpoint:
+    """A quorum-certified checkpoint: ``signers`` hold 2f+1 signatures."""
+
+    height: int
+    block_id: object
+    digest: object
+    signers: tuple  # ((replica_id, Signature), ...), sorted by id
+
+
+@dataclass(slots=True)
+class _SnapshotFetch:
+    """The one in-flight snapshot transfer (peer rotation + retry)."""
+
+    min_height: int
+    nonce: int
+    peer: int
+    attempts: int = 1
+    timer: object = field(default=None, repr=False)
+
+
+class CheckpointManager:
+    """Signs, collects, and applies checkpoints for one replica.
+
+    Owned by one replica (attached when ``checkpoint_interval > 0``);
+    driven by :meth:`poll` after every delivery, so it observes commits
+    regardless of which protocol family produced them.
+    """
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self.config = replica.config
+        self.context = replica.context
+        self.interval = replica.config.checkpoint_interval
+        self.executor = LedgerExecutor(replica)
+        self._signed_height = 0
+        #: (height, block_id, digest) → {signer: signature}
+        self._pending: dict = {}
+        #: own checkpoint images by height, serving + digest evidence
+        self._snapshots: dict[int, _Snapshot] = {}
+        self.stable: _StableCheckpoint | None = None
+        self._stable_truncated = False
+        self._fetch: _SnapshotFetch | None = None
+        self._next_nonce = 0
+        self._max_attempts = 3 * max(1, self.config.n - 1)
+        # Statistics (deterministic; surfaced in campaign metrics).
+        self.checkpoints_signed = 0
+        self.certificates_formed = 0
+        self.blocks_truncated = 0
+        self.snapshots_served = 0
+        self.snapshots_installed = 0
+        self.invalid_snapshots = 0
+        self.peer_rotations = 0
+
+    # ------------------------------------------------------------------
+    # driving: execute committed blocks, sign interval boundaries
+    # ------------------------------------------------------------------
+
+    def poll(self, now: float) -> None:
+        """Advance the executor and emit any due checkpoint digests."""
+        if self.replica.crashed:
+            return
+        while True:
+            event = self.executor.sync_next()
+            if event is None:
+                break
+            if (
+                event.height % self.interval == 0
+                and event.height > self._signed_height
+            ):
+                self._emit_checkpoint(event)
+        self._try_truncate()
+
+    def _emit_checkpoint(self, event: CommitEvent) -> None:
+        snapshot = _Snapshot(
+            height=event.height,
+            block_id=event.block_id,
+            digest=None,
+            state=self.executor.state.items(),
+            applied_txids=self.executor.applied_txids(),
+            applied_count=self.executor.state.applied,
+            rejected_count=self.executor.state.rejected,
+        )
+        snapshot.digest = state_digest(
+            snapshot.height,
+            snapshot.block_id,
+            snapshot.state,
+            snapshot.applied_txids,
+        )
+        self._snapshots[event.height] = snapshot
+        self._signed_height = event.height
+        message = CheckpointMsg(
+            sender=self.replica.replica_id,
+            height=snapshot.height,
+            block_id=snapshot.block_id,
+            digest=snapshot.digest,
+        )
+        signature = self.context.signing_key.sign(message.signing_payload())
+        message = replace(message, signature=signature)
+        self.checkpoints_signed += 1
+        self.context.multicast(message, include_self=True)
+
+    # ------------------------------------------------------------------
+    # collecting digests into certificates
+    # ------------------------------------------------------------------
+
+    def on_checkpoint(self, src: int, msg: CheckpointMsg) -> None:
+        if src != msg.sender or not 0 <= msg.sender < self.config.n:
+            return
+        if msg.block_id is None or msg.digest is None:
+            return
+        if msg.height <= 0 or msg.height % self.interval != 0:
+            return
+        if self.stable is not None and msg.height <= self.stable.height:
+            return
+        if self.config.verify_signatures:
+            if (
+                msg.signature is None
+                or msg.signature.signer != msg.sender
+                or not self.context.registry.verify(
+                    msg.signing_payload(), msg.signature
+                )
+            ):
+                return
+        key = (msg.height, msg.block_id, msg.digest)
+        signers = self._pending.setdefault(key, {})
+        if msg.sender in signers:
+            return
+        signers[msg.sender] = msg.signature
+        if len(signers) >= self.config.quorum():
+            self._form_certificate(key, signers)
+
+    def _form_certificate(self, key, signers: dict) -> None:
+        height, block_id, digest = key
+        self.certificates_formed += 1
+        self.stable = _StableCheckpoint(
+            height=height,
+            block_id=block_id,
+            digest=digest,
+            signers=tuple(sorted(signers.items())),
+        )
+        self._stable_truncated = False
+        # Everything below the new stable checkpoint is now moot.
+        self._pending = {
+            pending_key: pending_signers
+            for pending_key, pending_signers in self._pending.items()
+            if pending_key[0] > height
+        }
+        self._snapshots = {
+            snap_height: snapshot
+            for snap_height, snapshot in self._snapshots.items()
+            if snap_height >= height
+        }
+        self._try_truncate()
+        self._maybe_request_snapshot()
+
+    def _local_height(self) -> int:
+        commit_order = self.replica.commit_tracker.commit_order
+        return commit_order[-1].height if commit_order else 0
+
+    def _try_truncate(self) -> None:
+        """Truncate below the stable checkpoint once its block is local."""
+        if self.stable is None or self._stable_truncated:
+            return
+        store = self.replica.store
+        block = store.maybe_get(self.stable.block_id)
+        if block is None:
+            return
+        pruned = store.truncate_below(self.stable.block_id)
+        self._stable_truncated = True
+        self.blocks_truncated += len(pruned)
+        if pruned:
+            self.replica._on_truncated(pruned)
+
+    # ------------------------------------------------------------------
+    # snapshot transfer: requesting
+    # ------------------------------------------------------------------
+
+    def _maybe_request_snapshot(self) -> None:
+        """Fetch a snapshot when the stable checkpoint is out of reach.
+
+        Within one interval of the stable height the ordinary block-sync
+        path closes the gap faster than a full state transfer would.
+        """
+        if self.stable is None or self._fetch is not None:
+            return
+        if self.replica.store.maybe_get(self.stable.block_id) is not None:
+            return
+        if self.stable.height - self._local_height() <= self.interval:
+            return
+        if self.config.n < 2:
+            return
+        self._next_nonce += 1
+        self._fetch = _SnapshotFetch(
+            min_height=self.stable.height,
+            nonce=self._next_nonce,
+            peer=(self.replica.replica_id + 1) % self.config.n,
+        )
+        self._send_request(self._fetch)
+
+    def _send_request(self, fetch: _SnapshotFetch) -> None:
+        request = SnapshotRequestMsg(
+            sender=self.replica.replica_id,
+            min_height=fetch.min_height,
+            nonce=fetch.nonce,
+        )
+        signature = self.context.signing_key.sign(request.signing_payload())
+        request = replace(request, signature=signature)
+        self.context.send(fetch.peer, request)
+        # Snapshots are bulky; give peers a few sync-retry budgets.
+        fetch.timer = self.context.set_timer(
+            4.0 * self.config.sync_retry, self._retry, fetch.nonce
+        )
+
+    def _retry(self, nonce: int) -> None:
+        if self.replica.crashed:
+            return
+        fetch = self._fetch
+        if fetch is None or fetch.nonce != nonce:
+            return
+        if self.replica.store.maybe_get(self.stable.block_id) is not None:
+            self._fetch = None  # resolved out of band (block-sync won)
+            return
+        self._rotate(fetch)
+
+    def _rotate(self, fetch: _SnapshotFetch) -> None:
+        if fetch.attempts >= self._max_attempts:
+            self._fetch = None
+            return
+        fetch.peer = (fetch.peer + 1) % self.config.n
+        if fetch.peer == self.replica.replica_id:
+            fetch.peer = (fetch.peer + 1) % self.config.n
+        fetch.attempts += 1
+        self.peer_rotations += 1
+        self._next_nonce += 1
+        fetch.nonce = self._next_nonce
+        self._send_request(fetch)
+
+    # ------------------------------------------------------------------
+    # snapshot transfer: serving
+    # ------------------------------------------------------------------
+
+    def serve_snapshot(self, src: int, msg: SnapshotRequestMsg) -> None:
+        if src != msg.sender or not 0 <= msg.sender < self.config.n:
+            return
+        if self.config.verify_signatures:
+            if (
+                msg.signature is None
+                or msg.signature.signer != msg.sender
+                or not self.context.registry.verify(
+                    msg.signing_payload(), msg.signature
+                )
+            ):
+                return
+        stable = self.stable
+        snapshot = (
+            self._snapshots.get(stable.height) if stable is not None else None
+        )
+        if (
+            stable is None
+            or snapshot is None
+            or stable.height < msg.min_height
+            or snapshot.digest != stable.digest
+        ):
+            # Honest miss: nothing stable (or nothing new enough) to ship.
+            response = SnapshotResponseMsg(
+                sender=self.replica.replica_id, nonce=msg.nonce
+            )
+        else:
+            response = SnapshotResponseMsg(
+                sender=self.replica.replica_id,
+                nonce=msg.nonce,
+                cert_height=stable.height,
+                cert_block_id=stable.block_id,
+                cert_digest=stable.digest,
+                cert_signers=stable.signers,
+                block=self.replica.store.maybe_get(stable.block_id),
+                state=snapshot.state,
+                applied_txids=snapshot.applied_txids,
+                applied_count=snapshot.applied_count,
+                rejected_count=snapshot.rejected_count,
+            )
+            self.snapshots_served += 1
+        signature = self.context.signing_key.sign(response.signing_payload())
+        self.context.send(src, replace(response, signature=signature))
+
+    # ------------------------------------------------------------------
+    # snapshot transfer: installing
+    # ------------------------------------------------------------------
+
+    def on_snapshot_response(self, src: int, msg: SnapshotResponseMsg) -> None:
+        fetch = self._fetch
+        if fetch is None or src != msg.sender:
+            return
+        if fetch.nonce != msg.nonce or fetch.peer != src:
+            return
+        if not msg.cert_signers:
+            # Honest miss from this peer; try the next one.
+            self._cancel_timer(fetch)
+            self._rotate(fetch)
+            return
+        if msg.cert_height <= self._local_height():
+            # Ordinary block-sync raced the transfer and this replica is
+            # already at (or past) the offered checkpoint — the fetch is
+            # satisfied, not the response invalid.
+            self._cancel_timer(fetch)
+            self._fetch = None
+            return
+        if not self._validate_snapshot(msg, fetch):
+            self.invalid_snapshots += 1
+            self._cancel_timer(fetch)
+            self._rotate(fetch)
+            return
+        self._cancel_timer(fetch)
+        self._fetch = None
+        self._install_snapshot(msg)
+
+    def _validate_snapshot(self, msg: SnapshotResponseMsg, fetch) -> bool:
+        """Whole-response validation before any mutation."""
+        if msg.block is None or msg.cert_block_id is None:
+            return False
+        if msg.cert_height < fetch.min_height:
+            return False
+        if msg.block.id() != msg.cert_block_id:
+            return False
+        if msg.block.height != msg.cert_height:
+            return False
+        if msg.cert_height % self.interval != 0:
+            return False
+        if msg.cert_height <= self._local_height():
+            return False
+        # The digest must recompute from the shipped state image.
+        digest = state_digest(
+            msg.cert_height, msg.cert_block_id, msg.state, msg.applied_txids
+        )
+        if digest != msg.cert_digest:
+            return False
+        if self.config.verify_signatures:
+            registry = self.context.registry
+            if (
+                msg.signature is None
+                or msg.signature.signer != msg.sender
+                or not registry.verify(msg.signing_payload(), msg.signature)
+            ):
+                return False
+            # The checkpoint payload is deliberately sender-free, so
+            # every signer in the certificate signed identical bytes.
+            probe = CheckpointMsg(
+                sender=0,
+                height=msg.cert_height,
+                block_id=msg.cert_block_id,
+                digest=msg.cert_digest,
+            )
+            signatures = []
+            for replica_id, signature in msg.cert_signers:
+                if signature is None or signature.signer != replica_id:
+                    return False
+                signatures.append(signature)
+            if not registry.verify_quorum(
+                probe.signing_payload(), signatures, self.config.quorum()
+            ):
+                return False
+        elif len({signer for signer, _sig in msg.cert_signers}) < (
+            self.config.quorum()
+        ):
+            return False
+        return True
+
+    def _install_snapshot(self, msg: SnapshotResponseMsg) -> None:
+        """Adopt the checkpoint wholesale: store root, tracker, executor."""
+        replica = self.replica
+        now = self.context.now
+        pruned, flushed = replica.store.adopt_root(msg.block)
+        if pruned:
+            replica._on_truncated(pruned)
+        tracker = replica.commit_tracker
+        block_id = msg.block.id()
+        if block_id not in tracker.committed:
+            event = CommitEvent(
+                block_id=block_id,
+                round=msg.block.round,
+                height=msg.block.height,
+                committed_at=now,
+                created_at=msg.block.created_at,
+            )
+            tracker.committed[block_id] = event
+            tracker.commit_order.append(event)
+            tracker.snapshot_heights.add(msg.block.height)
+            if msg.block.round > tracker.highest_committed_round:
+                tracker.highest_committed_round = msg.block.round
+        self.executor.install_snapshot(
+            msg.state,
+            msg.applied_txids,
+            cursor=len(tracker.commit_order),
+            applied_count=msg.applied_count,
+            rejected_count=msg.rejected_count,
+        )
+        self.stable = _StableCheckpoint(
+            height=msg.cert_height,
+            block_id=msg.cert_block_id,
+            digest=msg.cert_digest,
+            signers=msg.cert_signers,
+        )
+        self._stable_truncated = True  # adopt_root already re-rooted
+        self._signed_height = msg.cert_height
+        self._snapshots = {
+            msg.cert_height: _Snapshot(
+                height=msg.cert_height,
+                block_id=msg.cert_block_id,
+                digest=msg.cert_digest,
+                state=tuple(msg.state),
+                applied_txids=tuple(msg.applied_txids),
+                applied_count=msg.applied_count,
+                rejected_count=msg.rejected_count,
+            )
+        }
+        self._pending = {
+            key: signers
+            for key, signers in self._pending.items()
+            if key[0] > msg.cert_height
+        }
+        self.snapshots_installed += 1
+        if flushed:
+            # Buffered orphans that re-attached under the new root flow
+            # through the ordinary post-insertion path (voting, QCs).
+            replica._handle_inserted_blocks(flushed)
+        # Suffix sync: chase the certified chain above the checkpoint
+        # through the ordinary block-sync path (a tip fetch resolved
+        # once something above the checkpoint round is certified).
+        if replica.sync is not None:
+            replica.sync.note_round_lag(
+                msg.block.round + self.config.sync_round_lag + 1,
+                msg.block.round,
+            )
+
+    @staticmethod
+    def _cancel_timer(fetch: _SnapshotFetch) -> None:
+        if fetch.timer is not None:
+            fetch.timer.cancel()
+            fetch.timer = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stable_height(self) -> int:
+        return self.stable.height if self.stable is not None else 0
+
+    def stats(self) -> dict:
+        return {
+            "checkpoints_signed": self.checkpoints_signed,
+            "certificates_formed": self.certificates_formed,
+            "blocks_truncated": self.blocks_truncated,
+            "snapshots_served": self.snapshots_served,
+            "snapshots_installed": self.snapshots_installed,
+            "invalid_snapshots": self.invalid_snapshots,
+            "peer_rotations": self.peer_rotations,
+        }

@@ -210,6 +210,114 @@ class SyncResponseMsg(Message):
         return payload
 
 
+@dataclass(frozen=True, slots=True)
+class CheckpointMsg(Message):
+    """⟨checkpoint, h, d⟩_i — a signed state digest at commit height ``h``.
+
+    Every ``checkpoint_interval`` commits each replica digests its
+    executed kvstore state together with the committed-chain block at
+    the checkpoint height and multicasts this message (the PBFT
+    checkpoint subprotocol).  ``2f + 1`` matching ``(height, digest)``
+    pairs from distinct signers form a checkpoint certificate: proof
+    the state is durable, so history below it may be truncated and a
+    lagging replica may install it wholesale via snapshot transfer.
+    """
+
+    height: int = 0
+    block_id: object = None  # BlockId (HashDigest) of the checkpoint block
+    digest: object = None  # HashDigest over (height, block, state)
+    signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def signing_payload(self) -> bytes:
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes(
+            "checkpoint", self.height, self.block_id.value, self.digest.value
+        )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotRequestMsg(Message):
+    """⟨snapshot-req, h, nonce⟩_i — ask a peer for a stable checkpoint.
+
+    ``min_height`` is the lowest checkpoint height worth shipping (the
+    requester already has state through its own last checkpoint);
+    ``nonce`` pairs responses with requests across retries and peer
+    rotation, mirroring :class:`SyncRequestMsg`.
+    """
+
+    min_height: int = 0
+    nonce: int = 0
+    signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def signing_payload(self) -> bytes:
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes(
+            "snapshot-req", self.sender, self.min_height, self.nonce
+        )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotResponseMsg(Message):
+    """⟨snapshot-resp, nonce, cert, block, state⟩_i — a full state transfer.
+
+    Ships the responder's latest stable checkpoint: the checkpoint
+    ``block``, the ``2f + 1`` signer certificate over its digest
+    (``cert_height``/``cert_block_id``/``cert_digest``/``cert_signers``,
+    each signer a ``(replica_id, signature)`` pair over the
+    :class:`CheckpointMsg` payload), the executed kvstore ``state`` as
+    sorted key/value pairs, and the sorted ``applied_txids`` of the
+    executor's dedup set (duplicates can straddle the checkpoint
+    boundary, so exactly-once semantics need it shipped).  Empty
+    ``cert_signers`` signals a miss — the responder has no stable
+    checkpoint at or above ``min_height`` — and the requester rotates.
+    The requester recomputes the digest from the shipped state and
+    validates the certificate before mutating anything.
+    """
+
+    nonce: int = 0
+    cert_height: int = 0
+    cert_block_id: object = None  # BlockId of the checkpoint block
+    cert_digest: object = None  # HashDigest the signers agreed on
+    cert_signers: tuple = ()  # ((replica_id, Signature), ...)
+    block: Block | None = None
+    state: tuple = ()  # sorted ((key, value), ...) kvstore items
+    applied_txids: tuple = ()  # sorted executor dedup set
+    applied_count: int = 0
+    rejected_count: int = 0
+    signature: Signature | None = None
+    _cached_payload: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def signing_payload(self) -> bytes:
+        cached = self._cached_payload
+        if cached is not None:
+            return cached
+        payload = canonical_bytes(
+            "snapshot-resp",
+            self.sender,
+            self.nonce,
+            self.cert_height,
+            b"" if self.cert_digest is None else self.cert_digest.value,
+        )
+        object.__setattr__(self, "_cached_payload", payload)
+        return payload
+
+
 __all__ = [
     "Message",
     "ProposalMsg",
@@ -222,4 +330,7 @@ __all__ = [
     "ClientRequestMsg",
     "SyncRequestMsg",
     "SyncResponseMsg",
+    "CheckpointMsg",
+    "SnapshotRequestMsg",
+    "SnapshotResponseMsg",
 ]

@@ -1,9 +1,9 @@
-"""BlockStore: insertion, orphans, ancestry, certification queries."""
+"""BlockStore: insertion, orphans, ancestry, certification, truncation."""
 
 import pytest
 
 from repro.types.block import Block, make_genesis
-from repro.types.chain import ChainError
+from repro.types.chain import BlockStore, ChainError
 from tests.conftest import ChainBuilder
 
 
@@ -239,6 +239,191 @@ class TestBlocksByRoundAndHeight:
             left.id(),
             right.id(),
         }
+
+
+class TestOrphanCap:
+    def _orphan(self, round_number: int, proposer: int = 0) -> Block:
+        # Parentless relative to the store: each orphan hangs off a
+        # made-up parent that never arrives.
+        phantom = Block(
+            parent_id=None, qc=None, round=round_number, height=0,
+            proposer=proposer + 7,
+        )
+        return Block(
+            parent_id=phantom.id(),
+            qc=None,
+            round=round_number,
+            height=round_number,
+            proposer=proposer,
+        )
+
+    def test_flood_cannot_exceed_cap(self):
+        genesis, genesis_qc = make_genesis()
+        store = BlockStore(genesis, genesis_qc, max_orphans=8)
+        for round_number in range(1, 100):
+            store.add_block(self._orphan(round_number))
+            assert store.orphan_count() <= 8
+        assert store.orphan_count() == 8
+
+    def test_eviction_is_oldest_round_first(self):
+        genesis, genesis_qc = make_genesis()
+        store = BlockStore(genesis, genesis_qc, max_orphans=3)
+        old = self._orphan(1)
+        store.add_block(old)
+        for round_number in (5, 6, 7):
+            store.add_block(self._orphan(round_number))
+        # The round-1 orphan was the eviction victim; its parent is no
+        # longer awaited while the newer parents still are.
+        assert not store.is_awaited(old.parent_id)
+        assert store.orphan_count() == 3
+
+    def test_oldest_candidate_is_dropped_not_buffered(self):
+        genesis, genesis_qc = make_genesis()
+        store = BlockStore(genesis, genesis_qc, max_orphans=2)
+        for round_number in (5, 6):
+            store.add_block(self._orphan(round_number))
+        stale = self._orphan(1)
+        store.add_block(stale)
+        assert not store.is_awaited(stale.parent_id)
+        assert store.orphan_count() == 2
+
+    def test_cap_must_be_positive(self):
+        genesis, genesis_qc = make_genesis()
+        with pytest.raises(ChainError):
+            BlockStore(genesis, genesis_qc, max_orphans=0)
+
+
+class TestTruncation:
+    def _forked_store(self, builder):
+        """genesis → a → b → c → d plus a fork sibling off ``a``."""
+        a = builder.block(builder.genesis, 1)
+        fork = builder.block(a, 2, proposer=3)
+        b = builder.block(a, 3)
+        c = builder.block(b, 4)
+        d = builder.block(c, 5)
+        return a, fork, b, c, d
+
+    def test_truncate_keeps_root_and_descendants(self, builder):
+        a, fork, b, c, d = self._forked_store(builder)
+        pruned = builder.store.truncate_below(b.id())
+        assert pruned == {builder.genesis.id(), a.id(), fork.id()}
+        for survivor in (b, c, d):
+            assert survivor.id() in builder.store
+        assert builder.store.root_block().id() == b.id()
+        assert builder.store.truncated_height == b.height - 1
+
+    def test_truncation_never_removes_at_or_above_root(self, builder):
+        # Property over every choice of checkpoint block on the main
+        # chain: pruned ids and surviving ids partition the store, and
+        # nothing at or above the root's height on its own subtree is
+        # ever pruned.
+        blocks = [builder.block(builder.genesis, 1)]
+        for round_number in range(2, 8):
+            blocks.append(builder.block(blocks[-1], round_number))
+        for root in blocks[1:]:
+            fresh = ChainBuilder(f=1)
+            chain = [fresh.block(fresh.genesis, 1)]
+            for round_number in range(2, 8):
+                chain.append(fresh.block(chain[-1], round_number))
+            target = chain[blocks.index(root)]
+            pruned = fresh.store.truncate_below(target.id())
+            descendants = {
+                block.id() for block in chain if block.height >= target.height
+            }
+            assert descendants & pruned == set()
+            assert all(block_id in fresh.store for block_id in descendants)
+
+    def test_iter_children_intact_after_truncation(self, builder):
+        _a, _fork, b, c, d = self._forked_store(builder)
+        builder.store.truncate_below(b.id())
+        assert set(builder.store.children(b.id())) == {c.id()}
+        assert set(builder.store.children(c.id())) == {d.id()}
+        # And the surviving suffix still extends normally.
+        e = builder.block(d, 6)
+        assert set(builder.store.children(d.id())) == {e.id()}
+
+    def test_orphans_reattach_above_truncation(self, builder):
+        a, _fork, b, c, _d = self._forked_store(builder)
+        missing = Block(
+            parent_id=c.id(), qc=None, round=6, height=c.height + 1, proposer=0
+        )
+        orphan = Block(
+            parent_id=missing.id(), qc=None, round=7, height=missing.height + 1,
+            proposer=0,
+        )
+        builder.store.add_block(orphan)
+        builder.store.truncate_below(b.id())
+        # The orphan sits above the checkpoint: still awaited, and it
+        # flushes when its parent finally arrives.
+        assert builder.store.is_awaited(missing.id())
+        inserted = builder.store.add_block(missing)
+        assert {block.id() for block in inserted} == {missing.id(), orphan.id()}
+
+    def test_stale_orphans_dropped_by_truncation(self, builder):
+        a, _fork, b, _c, _d = self._forked_store(builder)
+        phantom = Block(parent_id=None, qc=None, round=1, height=0, proposer=9)
+        stale = Block(
+            parent_id=phantom.id(), qc=None, round=2, height=1, proposer=2
+        )
+        builder.store.add_block(stale)
+        assert builder.store.orphan_count() == 1
+        builder.store.truncate_below(b.id())
+        assert builder.store.orphan_count() == 0
+        # Late arrivals from pruned history are dropped, not buffered.
+        builder.store.add_block(stale)
+        assert builder.store.orphan_count() == 0
+
+    def test_peak_live_blocks_high_water_mark(self, builder):
+        a, _fork, b, _c, _d = self._forked_store(builder)
+        peak_before = builder.store.peak_live_blocks
+        assert peak_before == 6  # genesis + 5
+        builder.store.truncate_below(b.id())
+        assert len(builder.store) == 3
+        assert builder.store.peak_live_blocks == peak_before
+
+
+class TestAdoptRoot:
+    def test_adopt_unknown_root_truncates_everything_else(self, builder):
+        a = builder.block(builder.genesis, 1)
+        b = builder.block(a, 2)
+        # A checkpoint block from a chain this store never saw.
+        foreign = Block(
+            parent_id=b.id(), qc=None, round=9, height=b.height + 1, proposer=1
+        )
+        distant = Block(
+            parent_id=foreign.id(), qc=None, round=10, height=foreign.height + 1,
+            proposer=2,
+        )
+        pruned, flushed = builder.store.adopt_root(distant)
+        assert distant.id() in builder.store
+        assert builder.store.root_block().id() == distant.id()
+        # Only blocks the store actually held get pruned; the foreign
+        # parent was never stored in the first place.
+        assert pruned == {builder.genesis.id(), a.id(), b.id()}
+        assert flushed == []
+
+    def test_adopt_root_flushes_waiting_orphans(self, builder):
+        a = builder.block(builder.genesis, 1)
+        root = Block(
+            parent_id=a.id(), qc=None, round=5, height=a.height + 1, proposer=0
+        )
+        child = Block(
+            parent_id=root.id(), qc=None, round=6, height=root.height + 1,
+            proposer=0,
+        )
+        builder.store.add_block(child)  # orphan: parent not stored yet
+        pruned, flushed = builder.store.adopt_root(root)
+        assert [block.id() for block in flushed] == [child.id()]
+        assert child.id() in builder.store
+        assert builder.genesis.id() in pruned
+
+    def test_adopt_existing_root_is_plain_truncation(self, builder):
+        a = builder.block(builder.genesis, 1)
+        b = builder.block(a, 2)
+        pruned, flushed = builder.store.adopt_root(b)
+        assert pruned == {builder.genesis.id(), a.id()}
+        assert flushed == []
+        assert builder.store.root_block().id() == b.id()
 
 
 def test_chain_builder_uses_distinct_payload_tags():

@@ -37,7 +37,17 @@ class TestGenerator:
             assert spec.protocol in SMOKE_PROFILE.protocols
             assert spec.duration <= SMOKE_PROFILE.max_duration
             assert spec.faults.total() <= spec.n
-            assert len(spec.partitions) <= SMOKE_PROFILE.max_partitions
+            # The checkpoint axis may add at most one snapshot-lag
+            # window (explicit groups isolating the last replica) on
+            # top of the profile's sampled split partitions.
+            lag_windows = [
+                window for window in spec.partitions if window.groups
+            ]
+            assert len(lag_windows) <= (1 if spec.checkpoint_interval else 0)
+            assert (
+                len(spec.partitions) - len(lag_windows)
+                <= SMOKE_PROFILE.max_partitions
+            )
             assert spec.seeds == (seed,)
 
     def test_schedule_space_is_exercised(self):

@@ -10,7 +10,7 @@ from repro.analysis.report import (
 )
 from repro.runtime.client import Mempool
 from repro.runtime.config import ExperimentConfig, build_cluster
-from repro.runtime.metrics import LatencyReport
+from repro.runtime.metrics import LatencyReport, percentile
 from repro.types.transaction import Transaction
 
 
@@ -149,6 +149,42 @@ class TestMempool:
         mempool.remove_committed([txn])
         assert mempool.pending_count() == 0
         assert mempool._in_flight == {}
+
+
+class TestPercentile:
+    def test_quantile_zero_rejected(self):
+        # q=0 would silently clamp to the minimum sample.
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], 0.0)
+
+    def test_quantile_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], 1.1)
+
+    def test_negative_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
+
+    def test_empty_samples_return_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_exact_boundary_rank_median(self):
+        # Nearest-rank: ceil(0.5 * 4) = 2 → the 2nd smallest sample,
+        # exactly at the rank boundary (no interpolation).
+        assert percentile([4.0, 1.0, 3.0, 2.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_exact_boundary_rank_p99(self):
+        # ceil(0.99 * 100) = 99 → the 99th smallest of 100 samples.
+        samples = [float(value) for value in range(100, 0, -1)]
+        assert percentile(samples, 0.99) == 99.0
+        # With exactly 100 samples, q=1.0 is the maximum.
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_result_is_always_a_sample(self):
+        samples = [0.31, 0.17, 0.99, 0.42, 0.58]
+        for quantile in (0.01, 0.25, 0.5, 0.75, 0.99, 1.0):
+            assert percentile(samples, quantile) in samples
 
 
 class TestLatencyReport:
