@@ -104,6 +104,11 @@ class CheckpointManager:
         self._signed_height = 0
         #: (height, block_id, digest) → {signer: signature}
         self._pending: dict = {}
+        #: Bounded like the orphan pool: a Byzantine peer can mint
+        #: CheckpointMsgs at arbitrary far-future interval multiples
+        #: with arbitrary digests, and certificate formation only
+        #: prunes keys at or below the new stable height.
+        self._max_pending = max(16, 4 * self.config.n)
         #: own checkpoint images by height, serving + digest evidence
         self._snapshots: dict[int, _Snapshot] = {}
         self.stable: _StableCheckpoint | None = None
@@ -197,6 +202,23 @@ class CheckpointManager:
         signers[msg.sender] = msg.signature
         if len(signers) >= self.config.quorum():
             self._form_certificate(key, signers)
+        elif len(self._pending) > self._max_pending:
+            self._evict_pending()
+
+    def _evict_pending(self) -> None:
+        """Deterministic eviction past the cap: fewest signers first
+        (farthest from a certificate), ties to the highest height
+        (far-future flood keys before the live frontier), then ids."""
+        victim = min(
+            self._pending,
+            key=lambda key: (
+                len(self._pending[key]),
+                -key[0],
+                key[1].value,
+                key[2].value,
+            ),
+        )
+        del self._pending[victim]
 
     def _form_certificate(self, key, signers: dict) -> None:
         height, block_id, digest = key
@@ -227,12 +249,25 @@ class CheckpointManager:
         return commit_order[-1].height if commit_order else 0
 
     def _try_truncate(self) -> None:
-        """Truncate below the stable checkpoint once its block is local."""
+        """Truncate below the stable checkpoint once it is locally final.
+
+        Holding the checkpoint block is not enough: commits trail the
+        stored tip by the chaining depth, so 2f+1 digests for height H
+        can arrive while this replica has block H but has only
+        committed through H-2.  Pruning then would drop uncommitted
+        ancestors whose commit events never fire — the executor would
+        silently skip their transactions and the commit log would gain
+        a gap the prefix-consistency oracle flags.  Wait until local
+        commitment has reached the checkpoint height; the
+        snapshot-install path re-roots explicitly and never comes here.
+        """
         if self.stable is None or self._stable_truncated:
             return
         store = self.replica.store
         block = store.maybe_get(self.stable.block_id)
         if block is None:
+            return
+        if self._local_height() < self.stable.height:
             return
         pruned = store.truncate_below(self.stable.block_id)
         self._stable_truncated = True
@@ -324,13 +359,22 @@ class CheckpointManager:
         snapshot = (
             self._snapshots.get(stable.height) if stable is not None else None
         )
+        block = (
+            self.replica.store.maybe_get(stable.block_id)
+            if stable is not None
+            else None
+        )
         if (
             stable is None
             or snapshot is None
+            or block is None
             or stable.height < msg.min_height
             or snapshot.digest != stable.digest
         ):
-            # Honest miss: nothing stable (or nothing new enough) to ship.
+            # Honest miss: nothing stable (or nothing new enough) to
+            # ship — including a stable cert whose checkpoint block
+            # this replica never held, which the requester would
+            # otherwise reject and count against an honest peer.
             response = SnapshotResponseMsg(
                 sender=self.replica.replica_id, nonce=msg.nonce
             )
@@ -342,7 +386,7 @@ class CheckpointManager:
                 cert_block_id=stable.block_id,
                 cert_digest=stable.digest,
                 cert_signers=stable.signers,
-                block=self.replica.store.maybe_get(stable.block_id),
+                block=block,
                 state=snapshot.state,
                 applied_txids=snapshot.applied_txids,
                 applied_count=snapshot.applied_count,

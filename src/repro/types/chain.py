@@ -253,9 +253,6 @@ class BlockStore:
             keep.add(cursor)
             frontier.extend(self._children.get(cursor, ()))
         pruned = frozenset(self._blocks) - keep
-        if not pruned:
-            self.truncated_height = max(self.truncated_height, root.height - 1)
-            return pruned
         for block_id in pruned:
             block = self._blocks.pop(block_id)
             self._children.pop(block_id, None)
@@ -272,7 +269,9 @@ class BlockStore:
                     del self._by_height[block.height]
         self.truncated_height = max(self.truncated_height, root.height - 1)
         # Stale orphans: anything at or below the checkpoint height can
-        # never re-attach (its parent chain is gone for good).
+        # never re-attach (its parent chain is gone for good).  Swept
+        # even when nothing was stored below the new root, because
+        # truncated_height rises on that path too.
         for parent_id in list(self._orphans):
             pending = self._orphans[parent_id]
             fresh = [

@@ -373,6 +373,41 @@ class TestTruncation:
         builder.store.add_block(stale)
         assert builder.store.orphan_count() == 0
 
+    def test_no_prune_truncation_still_sweeps_stale_orphans(self, builder):
+        # White-box: a boundary that lags the physical root — the state
+        # a skipped sweep would otherwise leave behind.  Re-truncating
+        # at the root prunes nothing, but the boundary raise must still
+        # sweep orphans that can never re-attach.
+        _a, _fork, b, _c, _d = self._forked_store(builder)
+        builder.store.truncate_below(b.id())
+        builder.store.truncated_height = -1
+        phantom = Block(parent_id=None, qc=None, round=1, height=0, proposer=9)
+        stale = Block(
+            parent_id=phantom.id(), qc=None, round=2, height=1, proposer=2
+        )
+        builder.store.add_block(stale)
+        assert builder.store.orphan_count() == 1
+        pruned = builder.store.truncate_below(b.id())
+        assert pruned == frozenset()
+        assert builder.store.truncated_height == b.height - 1
+        assert builder.store.orphan_count() == 0
+
+    def test_no_prune_truncation_keeps_live_orphans(self, builder):
+        _a, _fork, b, c, _d = self._forked_store(builder)
+        builder.store.truncate_below(b.id())
+        missing = Block(
+            parent_id=c.id(), qc=None, round=6, height=c.height + 1, proposer=0
+        )
+        orphan = Block(
+            parent_id=missing.id(), qc=None, round=7,
+            height=missing.height + 1, proposer=0,
+        )
+        builder.store.add_block(orphan)
+        pruned = builder.store.truncate_below(b.id())
+        assert pruned == frozenset()
+        assert builder.store.is_awaited(missing.id())
+        assert builder.store.orphan_count() == 1
+
     def test_peak_live_blocks_high_water_mark(self, builder):
         a, _fork, b, _c, _d = self._forked_store(builder)
         peak_before = builder.store.peak_live_blocks

@@ -13,7 +13,11 @@ from dataclasses import replace
 from repro.crypto.hashing import hash_fields
 from repro.runtime.config import ExperimentConfig, build_cluster
 from repro.sync.checkpoint import _SnapshotFetch, state_digest
-from repro.types.messages import CheckpointMsg, SnapshotResponseMsg
+from repro.types.messages import (
+    CheckpointMsg,
+    SnapshotRequestMsg,
+    SnapshotResponseMsg,
+)
 
 
 def checkpoint_cluster(**overrides):
@@ -181,6 +185,112 @@ class TestOnCheckpointFiltering:
         before = dict(manager._pending)
         manager.on_checkpoint(1, message)
         assert manager._pending == before
+
+
+class TestTruncationGating:
+    """A stored checkpoint block alone must not trigger truncation.
+
+    Commits trail the stored tip by the chaining depth, so 2f+1
+    digests for height H can arrive while this replica has block H but
+    has only committed through H-2; pruning then would drop
+    uncommitted ancestors whose commit events never fire.
+    """
+
+    def test_no_truncation_before_commit_reaches_stable(
+        self, cluster, monkeypatch
+    ):
+        replica = cluster.replicas[0]
+        manager = replica.checkpoint
+        monkeypatch.setattr(manager, "_stable_truncated", False)
+        monkeypatch.setattr(
+            manager, "_local_height", lambda: manager.stable.height - 1
+        )
+        blocks_before = len(replica.store)
+        manager._try_truncate()
+        assert manager._stable_truncated is False
+        assert len(replica.store) == blocks_before
+
+    def test_truncates_once_commit_catches_up(self, cluster, monkeypatch):
+        replica = cluster.replicas[0]
+        manager = replica.checkpoint
+        monkeypatch.setattr(manager, "_stable_truncated", False)
+        # The fixture replica's real committed height is at or past its
+        # stable checkpoint, so the gate opens.
+        manager._try_truncate()
+        assert manager._stable_truncated is True
+
+
+class TestPendingBound:
+    """The digest pool is bounded against Byzantine far-future floods."""
+
+    def _bogus(self, cluster, index, height):
+        signer = cluster.replicas[1]
+        message = CheckpointMsg(
+            sender=signer.replica_id,
+            height=height,
+            block_id=hash_fields("bogus-block", index),
+            digest=hash_fields("bogus-digest", index),
+        )
+        signature = signer.context.signing_key.sign(message.signing_payload())
+        return replace(message, signature=signature)
+
+    def test_flood_cannot_grow_pending_past_cap(self, cluster, monkeypatch):
+        manager = cluster.replicas[0].checkpoint
+        monkeypatch.setattr(manager, "_pending", dict(manager._pending))
+        cap = manager._max_pending
+        base = manager.stable.height
+        for index in range(3 * cap):
+            message = self._bogus(
+                cluster, index, base + (index + 1) * manager.interval
+            )
+            manager.on_checkpoint(1, message)
+            assert len(manager._pending) <= cap
+
+    def test_flood_does_not_evict_near_quorum_key(self, cluster, monkeypatch):
+        manager = cluster.replicas[0].checkpoint
+        monkeypatch.setattr(manager, "_pending", {})
+        honest_key = (
+            manager.stable.height + manager.interval,
+            hash_fields("honest-block", 1),
+            hash_fields("honest-digest", 1),
+        )
+        manager._pending[honest_key] = {1: None, 2: None}
+        base = manager.stable.height + 10 * manager.interval
+        for index in range(3 * manager._max_pending):
+            message = self._bogus(
+                cluster, index, base + (index + 1) * manager.interval
+            )
+            manager.on_checkpoint(1, message)
+        # Single-signer far-future flood keys are evicted first; the
+        # key closest to a certificate survives.
+        assert honest_key in manager._pending
+
+
+class TestServeSnapshot:
+    def test_missing_block_is_honest_miss(self, cluster, monkeypatch):
+        # A responder with a stable cert but without the checkpoint
+        # block must answer with a miss, not a full response the
+        # requester would reject and count against an honest peer.
+        server = cluster.replicas[1]
+        manager = server.checkpoint
+        monkeypatch.setattr(server.store, "maybe_get", lambda block_id: None)
+        sent = []
+        monkeypatch.setattr(
+            server.context, "send", lambda dst, msg: sent.append(msg)
+        )
+        request = SnapshotRequestMsg(
+            sender=0, min_height=manager.stable.height, nonce=3
+        )
+        signature = cluster.replicas[0].context.signing_key.sign(
+            request.signing_payload()
+        )
+        served_before = manager.snapshots_served
+        manager.serve_snapshot(0, replace(request, signature=signature))
+        assert manager.snapshots_served == served_before
+        assert len(sent) == 1
+        response = sent[0]
+        assert response.cert_signers == ()
+        assert response.block is None
 
 
 class TestSnapshotValidation:
