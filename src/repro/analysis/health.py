@@ -102,6 +102,16 @@ class QCDiversityMonitor:
                                          health.replica_id))
         return entries
 
+    def appearance_vector(self) -> list:
+        """Dense per-replica appearance rates, indexed by replica id.
+
+        The campaign ``health`` metrics section publishes this vector
+        (rounded) so reports expose every replica's QC participation,
+        not just the worst offenders of :meth:`report`.
+        """
+        total = max(1, len(self._recent))
+        return [count / total for count in self._appearances]
+
     def stragglers(self, rate_threshold: float = 0.5) -> list:
         """Replicas appearing in fewer than ``rate_threshold`` of QCs."""
         return [

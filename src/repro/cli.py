@@ -14,6 +14,8 @@ Examples::
     python -m repro fuzz shrink failing.json --out minimal.json
     python -m repro bench run --suite smoke --label local
     python -m repro bench compare BENCH_local.json BENCH_baseline.json
+    python -m repro trace summarize scenarios/fuzz_corpus/some_case.json
+    python -m repro trace export scenario.json --out trace.json
 """
 
 from __future__ import annotations
@@ -230,6 +232,10 @@ def command_campaign_run(args) -> int:
 
     runner = CampaignRunner(jobs, workers=args.workers, name=campaign.name)
     report = runner.run(progress=progress)
+    if args.flight_dir:
+        written = _write_flight_dumps(report, args.flight_dir)
+        for path in written:
+            print(f"flight recording written to {path}", file=sys.stderr)
     if args.out:
         save_report(report, args.out)
         print(f"report written to {args.out}", file=sys.stderr)
@@ -252,6 +258,26 @@ def command_campaign_run(args) -> int:
         )
         exit_code = _report_regressions(regressions) or exit_code
     return exit_code
+
+
+def _write_flight_dumps(report, directory) -> list:
+    """Persist every job's flight recording under ``directory``."""
+    from pathlib import Path
+
+    from repro.obs import write_flight_dump
+
+    written = []
+    for entry in report.get("jobs", []):
+        recording = entry.get("flight_recording")
+        if recording is None:
+            continue
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        name = entry["job_id"].replace("/", "_")
+        path = target / f"{name}-flight.json"
+        write_flight_dump(recording, path)
+        written.append(str(path))
+    return written
 
 
 def _report_regressions(regressions) -> int:
@@ -391,6 +417,16 @@ def command_fuzz_replay(args) -> int:
         f"{len(invariants['violations'])} violation(s)"
     )
     _describe_violations(invariants["violations"])
+    if args.flight_out:
+        recording = entry.get("flight_recording")
+        if recording is None:
+            print("no flight recording (no violations)", file=sys.stderr)
+        else:
+            from repro.obs import write_flight_dump
+
+            write_flight_dump(recording, args.flight_out)
+            print(f"flight recording written to {args.flight_out}",
+                  file=sys.stderr)
     if invariants["ok"]:
         print("all invariants hold" if not invariants["violations"]
               else "only expected counterexamples — invariants hold")
@@ -536,6 +572,55 @@ def command_bench_compare(args) -> int:
     return exit_code
 
 
+def _run_traced_cluster(args):
+    """Run one scenario with tracing forced on; returns (spec, cluster)."""
+    spec = _load_fuzz_spec(args.spec)
+    if spec.script:
+        print("error: scripted scenarios have no cluster to trace",
+              file=sys.stderr)
+        raise SystemExit(2)
+    spec = spec.with_overrides(trace_level=args.level)
+    seed = args.seed if args.seed is not None else spec.seeds[0]
+    print(f"tracing {spec.name} (seed {seed}, level {args.level})…",
+          file=sys.stderr)
+    cluster = spec.build(seed)
+    cluster.run()
+    return spec, cluster
+
+
+def command_trace_summarize(args) -> int:
+    from repro.obs import summarize_trace
+
+    _spec, cluster = _run_traced_cluster(args)
+    print(summarize_trace(cluster.trace, reference_replica=args.reference))
+    return 0
+
+
+def command_trace_export(args) -> int:
+    import json
+
+    from repro.obs import chrome_trace, validate_chrome_trace
+
+    spec, cluster = _run_traced_cluster(args)
+    data = chrome_trace(cluster.trace, reference_replica=args.reference)
+    problems = validate_chrome_trace(data)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid trace event: {problem}", file=sys.stderr)
+        return 1
+    out = args.out or f"{spec.name}-trace.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"{len(data['traceEvents'])} trace events "
+        f"({data['otherData']['recorded_events']} recorded, "
+        f"{data['otherData']['dropped_events']} dropped) → {out}"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -586,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fail on regression vs this report")
     campaign_run.add_argument("--tolerance", type=float, default=0.25,
                               help="relative regression tolerance")
+    campaign_run.add_argument("--flight-dir", default=None,
+                              help="write flight-recorder dumps for "
+                                   "violating jobs into this directory")
     campaign_run.set_defaults(handler=command_campaign_run)
 
     campaign_report = campaign_sub.add_parser(
@@ -633,6 +721,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="override the spec's first seed")
     fuzz_replay.add_argument("--strict", action="store_true",
                              help="fail even on expected counterexamples")
+    fuzz_replay.add_argument("--flight-out", default=None,
+                             help="write the flight-recorder dump here "
+                                  "when the replay violates an invariant")
     fuzz_replay.set_defaults(handler=command_fuzz_replay)
 
     fuzz_shrink = fuzz_sub.add_parser(
@@ -681,6 +772,36 @@ def build_parser() -> argparse.ArgumentParser:
                                     "one report (renames/drops escape the "
                                     "gate otherwise)")
     bench_compare.set_defaults(handler=command_bench_compare)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="causal block-lifecycle tracing (Perfetto export)"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    def _add_trace_arguments(sub) -> None:
+        sub.add_argument("spec", help="scenario TOML/JSON file")
+        sub.add_argument("--seed", type=int, default=None,
+                         help="override the spec's first seed")
+        sub.add_argument("--level", choices=("spans", "full"),
+                         default="spans",
+                         help="trace detail (full adds message deliveries)")
+        sub.add_argument("--reference", type=int, default=0,
+                         help="replica whose lifecycle is decomposed")
+
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="run one scenario traced and print a span summary"
+    )
+    _add_trace_arguments(trace_summarize)
+    trace_summarize.set_defaults(handler=command_trace_summarize)
+
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="run one scenario traced and export Chrome trace-event JSON",
+    )
+    _add_trace_arguments(trace_export)
+    trace_export.add_argument("--out", default=None,
+                              help="output path (default <name>-trace.json)")
+    trace_export.set_defaults(handler=command_trace_export)
 
     return parser
 

@@ -91,6 +91,14 @@ class CommitTracker:
         #: to the checkpoint height, and the prefix-consistency oracle
         #: excuses exactly these gaps.
         self.snapshot_heights: set[int] = set()
+        #: First time this replica processed each block's QC — the
+        #: proposal→QC phase boundary in the latency decomposition
+        #: (:mod:`repro.obs.phases`).  Same lifetime as ``committed``.
+        self.qc_times: dict[BlockId, float] = {}
+        #: Optional :class:`repro.obs.Tracer` the owning replica
+        #: attaches; ``endorse`` lifecycle spans are emitted here, the
+        #: one place strength raises happen for every protocol family.
+        self.tracer = None
         if endorsement is not None and rule == "diembft":
             endorsement.add_listener(self._on_endorser_update)
 
@@ -104,6 +112,7 @@ class CommitTracker:
         The caller must have recorded the QC's block (and the QC
         itself) in the block store first.
         """
+        self.qc_times.setdefault(qc.block_id, now)
         tip = self._store.maybe_get(qc.block_id)
         if tip is None:
             return []
@@ -331,6 +340,11 @@ class CommitTracker:
             self.strong_events.append(
                 StrongCommitEvent(block_id=cursor.id(), level=strength, at=now)
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "endorse", round=cursor.round, height=cursor.height,
+                    block=cursor.id().short(), value=float(strength),
+                )
             if cursor.parent_id is None:
                 return
             cursor = self._store.maybe_get(cursor.parent_id)

@@ -26,6 +26,7 @@ from repro.analysis.invariants import (
     invariant_report,
 )
 from repro.experiments.campaign import Campaign
+from repro.obs import breakdown_from_cluster, collect_flight_recording
 from repro.runtime.metrics import (
     LatencyReport,
     check_commit_safety,
@@ -158,6 +159,9 @@ def collect_job_metrics(cluster, spec) -> dict:
     outcasts = [
         health.replica_id for health in monitor.report() if health.is_outcast()
     ]
+    appearance_rates = [
+        _round(rate, 4) for rate in monitor.appearance_vector()
+    ]
 
     message_stats = cluster.message_stats()
     per_commit = messages_per_committed_block(cluster)
@@ -235,7 +239,9 @@ def collect_job_metrics(cluster, spec) -> dict:
                 cluster.config.resolved_f()
             ),
             "outcasts": outcasts,
+            "appearance_rates": appearance_rates,
         },
+        "latency_breakdown": breakdown_from_cluster(reference),
         "messages": {
             "sent": message_stats["sent"],
             "delivered": message_stats["delivered"],
@@ -306,6 +312,7 @@ def run_job(job) -> dict:
     """
     start = time.perf_counter()
     spec = job.spec
+    flight_recording = None
     if spec.script:
         metrics = collect_scripted_metrics(spec)
         run_wall_clock = time.perf_counter() - start
@@ -315,8 +322,13 @@ def run_job(job) -> dict:
         cluster.run()
         run_wall_clock = time.perf_counter() - run_start
         metrics = collect_job_metrics(cluster, spec)
+        violations = metrics.get("invariants", {}).get("violations", [])
+        if violations:
+            # Outside ``metrics`` on purpose: baselines and fuzz digests
+            # compare/hash only the deterministic metrics section.
+            flight_recording = collect_flight_recording(cluster, violations)
     wall_clock = time.perf_counter() - start
-    return {
+    entry = {
         "job_id": job.job_id,
         "scenario": spec.name,
         "params": dict(job.params),
@@ -325,6 +337,9 @@ def run_job(job) -> dict:
         "wall_clock_s": round(wall_clock, 3),
         "run_wall_clock_s": round(run_wall_clock, 6),
     }
+    if flight_recording is not None:
+        entry["flight_recording"] = flight_recording
+    return entry
 
 
 def _summarize(results: list) -> dict:

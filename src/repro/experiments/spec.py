@@ -244,6 +244,14 @@ class ScenarioSpec:
     # checkpoint and let far-behind replicas join via snapshot
     # transfer.  0 (default) replays pre-checkpoint runs byte-for-byte.
     checkpoint_interval: int = 0
+    # Observability (repro.obs): ``trace_level`` turns the structured
+    # lifecycle span log on ("spans" adds the block span chain, "full"
+    # also records every message delivery); off replays pre-tracing
+    # runs byte-for-byte.  ``flight_recorder`` keeps the cheap per-
+    # replica crash ring (memory only, never in metrics) that invariant
+    # violations dump as JSON artifacts.
+    trace_level: str = "off"
+    flight_recorder: bool = True
     # Run control.
     duration: float = 10.0
     seeds: tuple = (1,)
@@ -295,6 +303,13 @@ class ScenarioSpec:
                 raise ValueError(
                     f"{name} must be positive, got {getattr(self, name)!r}"
                 )
+        from repro.obs.trace import TRACE_LEVELS
+
+        if self.trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace_level {self.trace_level!r}; "
+                f"expected one of {TRACE_LEVELS}"
+            )
         self.seeds = tuple(self.seeds)
         if not self.seeds:
             raise ValueError("seeds must not be empty")
@@ -370,6 +385,8 @@ class ScenarioSpec:
             pipelined_proposals=self.pipelined_proposals,
             linear_votes=self.linear_votes,
             checkpoint_interval=self.checkpoint_interval,
+            trace_level=self.trace_level,
+            flight_recorder=self.flight_recorder,
             duration=self.duration,
             seed=self.seeds[0] if seed is None else seed,
             observers=self.observers,

@@ -28,6 +28,7 @@ from repro.experiments.runner import CampaignRunner, run_job
 from repro.experiments.spec import save_scenario, spec_to_mapping
 from repro.fuzz.generator import DEFAULT_PROFILE, FuzzProfile, generate_spec
 from repro.fuzz.shrink import shrink_spec
+from repro.obs import write_flight_dump
 
 
 def parse_seed_range(text: str) -> tuple:
@@ -107,6 +108,7 @@ def run_fuzz(
 
     cases = []
     minimized = []
+    flight_dumps = []
     unexpected = 0
     expected = 0
     for job, entry in zip(jobs, results["jobs"]):
@@ -117,6 +119,14 @@ def run_fuzz(
                 expected += 1
             else:
                 unexpected += 1
+            recording = entry.get("flight_recording")
+            if recording is not None and corpus_dir is not None:
+                directory = Path(corpus_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                dump_path = directory / f"{job.spec.name}-flight.json"
+                write_flight_dump(recording, dump_path)
+                case["flight_dump"] = dump_path.name
+                flight_dumps.append(dump_path.name)
             if shrink:
                 result = shrink_spec(
                     job.spec, seed=entry["seed"], violations=violations
@@ -141,5 +151,6 @@ def run_fuzz(
             "unexpected_violations": unexpected,
             "expected_counterexamples": expected,
             "minimized": minimized,
+            "flight_dumps": flight_dumps,
         },
     }

@@ -1,0 +1,149 @@
+"""Per-phase commit-latency decomposition.
+
+A committed block's end-to-end latency splits into causally ordered
+phases:
+
+* **mempool wait** — transaction submission → inclusion in a proposal
+  (only measurable with a real-transaction workload attached);
+* **proposal → QC** — block creation → this replica learning its QC;
+* **QC → endorse** — QC → the block's first strong-commit level
+  (SFT observers only);
+* **endorse → commit** — first strength level → regular commit;
+* **QC → commit** — the regular 3-chain detection delay (always
+  defined, endorsements or not).
+
+Two independent computations produce the same numbers: from cluster
+state (:func:`breakdown_from_cluster` — cheap, runs in every campaign
+job and bench case, tracing on or off) and from the recorded span
+chain (:func:`breakdown_from_trace` — what ``repro trace`` reports).
+Their agreement on honest runs is pinned by tests; disagreement means
+an instrumentation seam drifted from the protocol.
+"""
+
+from __future__ import annotations
+
+
+def _phase_entry(total: float, samples: int):
+    if samples == 0:
+        return None
+    return round(total / samples, 6)
+
+
+def _breakdown(mempool_sum, mempool_count, phase_sums, phase_counts) -> dict:
+    out = {
+        "mempool_wait_s": _phase_entry(mempool_sum, mempool_count),
+        "mempool_wait_txs": mempool_count,
+    }
+    for phase in ("proposal_to_qc", "qc_to_endorse", "endorse_to_commit",
+                  "qc_to_commit"):
+        out[f"{phase}_s"] = _phase_entry(phase_sums[phase], phase_counts[phase])
+        out[f"{phase}_samples"] = phase_counts[phase]
+    return out
+
+
+def _accumulate(phase_sums, phase_counts, phase, delta) -> None:
+    phase_sums[phase] += delta
+    phase_counts[phase] += 1
+
+
+def _empty_sums():
+    phases = ("proposal_to_qc", "qc_to_endorse", "endorse_to_commit",
+              "qc_to_commit")
+    return {p: 0.0 for p in phases}, {p: 0 for p in phases}
+
+
+def breakdown_from_cluster(reference) -> dict:
+    """Latency decomposition from one reference replica's final state.
+
+    Snapshot-installed commits are skipped: they jumped straight to a
+    checkpoint without a local QC-formation history, so no phase is
+    defined for them (and the trace-side computation sees no events).
+    """
+    tracker = reference.commit_tracker
+    store = reference.store
+    phase_sums, phase_counts = _empty_sums()
+    mempool_sum = 0.0
+    mempool_count = 0
+    for event in tracker.commit_order:
+        if event.height == 0:
+            continue  # genesis: committed but never proposed
+        if event.height in tracker.snapshot_heights:
+            continue
+        qc_time = tracker.qc_times.get(event.block_id)
+        timeline = tracker.timeline_of(event.block_id)
+        endorse_time = (
+            min(timeline.first_reach.values())
+            if timeline is not None and timeline.first_reach
+            else None
+        )
+        if qc_time is not None:
+            _accumulate(phase_sums, phase_counts, "proposal_to_qc",
+                        qc_time - event.created_at)
+            _accumulate(phase_sums, phase_counts, "qc_to_commit",
+                        event.committed_at - qc_time)
+            if endorse_time is not None:
+                _accumulate(phase_sums, phase_counts, "qc_to_endorse",
+                            endorse_time - qc_time)
+        if endorse_time is not None:
+            _accumulate(phase_sums, phase_counts, "endorse_to_commit",
+                        event.committed_at - endorse_time)
+        block = store.maybe_get(event.block_id)
+        if block is not None:
+            for transaction in block.payload.transactions:
+                mempool_sum += event.created_at - transaction.submitted_at
+                mempool_count += 1
+    return _breakdown(mempool_sum, mempool_count, phase_sums, phase_counts)
+
+
+def breakdown_from_trace(log, replica_id: int) -> dict:
+    """The same decomposition recovered from the recorded span chain.
+
+    Uses the span events of one replica (``qc``/``endorse``/``commit``)
+    plus the global ``propose`` events (creation time and mempool-wait
+    payload live at the proposer).  Matches
+    :func:`breakdown_from_cluster` for the same replica on runs where
+    the span log did not wrap — except the ``mempool_wait_*`` keys
+    under checkpoint log truncation, where the cluster-side computation
+    loses the payloads of truncated blocks while the recorded
+    ``propose`` spans keep them (the trace numbers are the complete
+    ones).
+    """
+    propose_info: dict = {}
+    for event in log.events(kind="propose"):
+        propose_info.setdefault(event.block, event)
+    qc_times: dict = {}
+    for event in log.events(kind="qc", replica_id=replica_id):
+        qc_times.setdefault(event.block, event.time)
+    endorse_times: dict = {}
+    for event in log.events(kind="endorse", replica_id=replica_id):
+        endorse_times.setdefault(event.block, event.time)
+
+    phase_sums, phase_counts = _empty_sums()
+    mempool_sum = 0.0
+    mempool_count = 0
+    seen: set = set()
+    for event in log.events(kind="commit", replica_id=replica_id):
+        if event.height == 0:
+            continue  # genesis: committed but never proposed
+        if event.block in seen:
+            continue
+        seen.add(event.block)
+        proposed = propose_info.get(event.block)
+        qc_time = qc_times.get(event.block)
+        endorse_time = endorse_times.get(event.block)
+        if qc_time is not None and proposed is not None:
+            _accumulate(phase_sums, phase_counts, "proposal_to_qc",
+                        qc_time - proposed.time)
+        if qc_time is not None:
+            _accumulate(phase_sums, phase_counts, "qc_to_commit",
+                        event.time - qc_time)
+            if endorse_time is not None:
+                _accumulate(phase_sums, phase_counts, "qc_to_endorse",
+                            endorse_time - qc_time)
+        if endorse_time is not None:
+            _accumulate(phase_sums, phase_counts, "endorse_to_commit",
+                        event.time - endorse_time)
+        if proposed is not None:
+            mempool_sum += proposed.value
+            mempool_count += proposed.count
+    return _breakdown(mempool_sum, mempool_count, phase_sums, phase_counts)

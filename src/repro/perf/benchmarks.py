@@ -392,6 +392,9 @@ def run_suite(cases, repeats: int = 3, workers: int = 1, progress=None) -> list:
                 ),
                 "commit_latency_p50_s": metrics.get("regular_latency_p50_s"),
                 "commit_latency_p99_s": metrics.get("regular_latency_p99_s"),
+                # Per-phase lifecycle decomposition (mempool wait,
+                # proposal→QC, QC→endorse, endorse→commit means).
+                "latency_breakdown": metrics.get("latency_breakdown"),
                 # Memory bound tracked by the checkpoint subprotocol
                 # (populated for every case; truncation only shrinks it
                 # when checkpointing is enabled).

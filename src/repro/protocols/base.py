@@ -83,7 +83,16 @@ class ReplicaConfig:
       matching digests form a stable checkpoint that truncates history
       below it and lets far-behind replicas join via snapshot transfer
       instead of full replay.  0 (the default) disables it entirely,
-      preserving pre-feature runs byte-for-byte.
+      preserving pre-feature runs byte-for-byte;
+    * ``trace_level`` — structured lifecycle tracing (:mod:`repro.obs`):
+      ``"off"`` (default, byte-identical runs), ``"spans"`` (the
+      ``proposed → qc_formed → endorsed → committed`` span chain plus
+      sync/checkpoint request spans into the cluster-wide trace log),
+      or ``"full"`` (spans plus one event per delivered message);
+    * ``flight_recorder`` — the always-on per-replica ring of recent
+      trace events, dumped to a JSON artifact when the invariant
+      oracle reports a violation.  Memory-only: it never affects
+      behaviour, messages, or metrics output.
     """
 
     n: int
@@ -109,6 +118,8 @@ class ReplicaConfig:
     pipelined_proposals: bool = False
     linear_votes: bool = False
     checkpoint_interval: int = 0
+    trace_level: str = "off"
+    flight_recorder: bool = True
     leader_fn: object = field(default=None)
 
     def quorum(self) -> int:
@@ -133,12 +144,16 @@ class ReplicaContext:
         network: Network,
         simulator: Simulator,
         registry: KeyRegistry,
+        trace=None,
     ) -> None:
         self.replica_id = replica_id
         self.network = network
         self.simulator = simulator
         self.registry = registry
         self.signing_key = registry.signing_key(replica_id)
+        #: Cluster-wide span log (repro.obs.TraceLog) when tracing is
+        #: enabled; None otherwise.
+        self.trace = trace
 
     @property
     def now(self) -> float:
@@ -165,6 +180,23 @@ class BaseReplica:
         self.crash_at: float | None = None
         self.sync = None  # SyncManager, attached by _init_sync()
         self.checkpoint = None  # CheckpointManager, via _init_checkpoint()
+        from repro.obs import FlightRecorder, MetricsRegistry, Tracer
+
+        self.metrics = MetricsRegistry()
+        span_log = (
+            getattr(context, "trace", None)
+            if config.trace_level != "off" else None
+        )
+        flight = FlightRecorder() if config.flight_recorder else None
+        #: None iff both the span log and the flight ring are off —
+        #: every emit site guards on this single attribute, so disabled
+        #: runs stay byte-identical and effectively free.
+        self.tracer = (
+            Tracer(context.replica_id, span_log=span_log, flight=flight,
+                   level=config.trace_level)
+            if span_log is not None or flight is not None
+            else None
+        )
 
     def _init_sync(self) -> None:
         """Attach the block-sync manager (subclasses call after the
@@ -206,6 +238,12 @@ class BaseReplica:
         """
         if self.crashed:
             return
+        tracer = self.tracer
+        if tracer is not None and tracer.full:
+            tracer.emit(
+                self.context.now, "deliver",
+                detail=f"{type(message).__name__} from {src}",
+            )
         if isinstance(message, SyncRequestMsg):
             self._on_sync_request(src, message)
             return

@@ -68,6 +68,7 @@ class DiemBFTReplica(BaseReplica):
             on_local_timeout=self._on_local_timeout,
         )
         self.commit_tracker = self._make_commit_tracker()
+        self.commit_tracker.tracer = self.tracer
         self.payload_source = self._default_payload
         # Vote aggregation (this replica acting as a collector).
         self._collected_votes: dict[BlockId, dict[int, object]] = {}
@@ -81,13 +82,50 @@ class DiemBFTReplica(BaseReplica):
         # Block-sync: last cast vote (recovered via timeout messages
         # when the aggregating next leader crashed).
         self._last_vote = None
-        # Statistics.
-        self.blocks_proposed = 0
-        self.votes_sent = 0
-        self.timeouts_sent = 0
-        self.invalid_messages = 0
+        # Statistics: registry-backed counters; the property shims below
+        # keep the legacy attribute API (+= sites, test assertions).
+        self._c_blocks_proposed = self.metrics.counter("blocks_proposed")
+        self._c_votes_sent = self.metrics.counter("votes_sent")
+        self._c_timeouts_sent = self.metrics.counter("timeouts_sent")
+        self._c_invalid_messages = self.metrics.counter("invalid_messages")
         self._init_sync()
         self._init_checkpoint()
+
+    # ------------------------------------------------------------------
+    # registry-backed statistics (legacy attribute API preserved)
+    # ------------------------------------------------------------------
+
+    @property
+    def blocks_proposed(self) -> int:
+        return self._c_blocks_proposed.value
+
+    @blocks_proposed.setter
+    def blocks_proposed(self, value: int) -> None:
+        self._c_blocks_proposed.value = value
+
+    @property
+    def votes_sent(self) -> int:
+        return self._c_votes_sent.value
+
+    @votes_sent.setter
+    def votes_sent(self, value: int) -> None:
+        self._c_votes_sent.value = value
+
+    @property
+    def timeouts_sent(self) -> int:
+        return self._c_timeouts_sent.value
+
+    @timeouts_sent.setter
+    def timeouts_sent(self, value: int) -> None:
+        self._c_timeouts_sent.value = value
+
+    @property
+    def invalid_messages(self) -> int:
+        return self._c_invalid_messages.value
+
+    @invalid_messages.setter
+    def invalid_messages(self, value: int) -> None:
+        self._c_invalid_messages.value = value
 
     # ------------------------------------------------------------------
     # construction hooks (overridden by subclasses)
@@ -149,6 +187,10 @@ class DiemBFTReplica(BaseReplica):
     def _on_new_round(self, round_number: int, reason: str) -> None:
         if self.crashed:
             return
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.context.now, "round", round=round_number, detail=reason
+            )
         if self.sync is not None and reason == "tc":
             # Timeout-driven jumps are the round-lag staleness signal:
             # QCs advance the round only when their block is known.
@@ -179,6 +221,15 @@ class DiemBFTReplica(BaseReplica):
         signature = self.context.signing_key.sign(proposal.signing_payload())
         proposal = replace(proposal, signature=signature)
         self.blocks_proposed += 1
+        tracer = self.tracer
+        if tracer is not None:
+            txs = block.payload.transactions
+            tracer.emit(
+                block.created_at, "propose", round=round_number,
+                height=block.height, block=block.id().short(),
+                value=sum(block.created_at - tx.submitted_at for tx in txs),
+                count=len(txs),
+            )
         self.context.multicast(proposal, include_self=True)
 
     def _on_local_timeout(self, round_number: int) -> None:
@@ -203,6 +254,8 @@ class DiemBFTReplica(BaseReplica):
         signature = self.context.signing_key.sign(timeout.signing_payload())
         timeout = replace(timeout, signature=signature)
         self.timeouts_sent += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.context.now, "timeout", round=round_number)
         self.context.multicast(timeout, include_self=True)
 
     # ------------------------------------------------------------------
@@ -321,6 +374,11 @@ class DiemBFTReplica(BaseReplica):
         vote = self._make_vote(block)
         self.r_vote = round_number
         self.votes_sent += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.context.now, "vote", round=round_number,
+                height=block.height, block=block.id().short(),
+            )
         self._last_vote = vote
         self._after_vote(block)
         next_leader = self.config.leader_of(round_number + 1)
@@ -365,6 +423,11 @@ class DiemBFTReplica(BaseReplica):
         self._vote_block_info[block_id] = (vote.block_round, vote.height)
         if len(bucket) < self.config.quorum():
             return
+        if self.tracer is not None and len(bucket) == self.config.quorum():
+            self.tracer.emit(
+                self.context.now, "votes_collected", round=vote.block_round,
+                height=vote.height, block=block_id.short(), count=len(bucket),
+            )
         if self.config.qc_extra_wait > 0:
             if block_id not in self._pending_qc_forms:
                 self._pending_qc_forms.add(block_id)
@@ -387,6 +450,11 @@ class DiemBFTReplica(BaseReplica):
             block_id=block_id, round=round_number, height=height, votes=votes
         )
         self._formed_qcs.add(block_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.context.now, "qc_formed", round=round_number,
+                height=height, block=block_id.short(), count=len(votes),
+            )
         self._process_qc(qc, self.context.now)
         if (
             self.config.linear_votes
@@ -436,7 +504,21 @@ class DiemBFTReplica(BaseReplica):
             if qc.block_id not in self._qcs_processed:
                 self._qcs_processed.add(qc.block_id)
                 self.store.record_qc(qc)
-                self._on_new_certification(qc, now)
+                tracer = self.tracer
+                if tracer is None:
+                    self._on_new_certification(qc, now)
+                else:
+                    tracer.emit(
+                        now, "qc", round=qc.round, height=qc.height,
+                        block=qc.block_id.short(), count=len(qc.votes),
+                    )
+                    commits_before = len(self.commit_tracker.commit_order)
+                    self._on_new_certification(qc, now)
+                    for event in self.commit_tracker.commit_order[commits_before:]:
+                        tracer.emit(
+                            now, "commit", round=event.round,
+                            height=event.height, block=event.block_id.short(),
+                        )
         else:
             self._pending_qcs.setdefault(qc.block_id, qc)
             if self.sync is not None and not qc.is_genesis():

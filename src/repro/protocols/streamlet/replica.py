@@ -51,6 +51,7 @@ class StreamletReplica(BaseReplica):
         self.store.record_qc(genesis_qc)
         self.current_round = 0
         self.commit_tracker = self._make_commit_tracker()
+        self.commit_tracker.tracer = self.tracer
         self.payload_source = self._default_payload
         self._voted_rounds: set[int] = set()
         self._collected_votes: dict[BlockId, dict[int, object]] = {}
@@ -60,11 +61,41 @@ class StreamletReplica(BaseReplica):
         self._pending_qcs: dict[BlockId, QuorumCertificate] = {}
         self._orphan_proposals: dict[BlockId, ProposalMsg] = {}
         self._seen_message_keys: set = set()
-        self.blocks_proposed = 0
-        self.votes_sent = 0
-        self.invalid_messages = 0
+        # Statistics: registry-backed counters; the property shims below
+        # keep the legacy attribute API (+= sites, test assertions).
+        self._c_blocks_proposed = self.metrics.counter("blocks_proposed")
+        self._c_votes_sent = self.metrics.counter("votes_sent")
+        self._c_invalid_messages = self.metrics.counter("invalid_messages")
         self._init_sync()
         self._init_checkpoint()
+
+    # ------------------------------------------------------------------
+    # registry-backed statistics (legacy attribute API preserved)
+    # ------------------------------------------------------------------
+
+    @property
+    def blocks_proposed(self) -> int:
+        return self._c_blocks_proposed.value
+
+    @blocks_proposed.setter
+    def blocks_proposed(self, value: int) -> None:
+        self._c_blocks_proposed.value = value
+
+    @property
+    def votes_sent(self) -> int:
+        return self._c_votes_sent.value
+
+    @votes_sent.setter
+    def votes_sent(self, value: int) -> None:
+        self._c_votes_sent.value = value
+
+    @property
+    def invalid_messages(self) -> int:
+        return self._c_invalid_messages.value
+
+    @invalid_messages.setter
+    def invalid_messages(self, value: int) -> None:
+        self._c_invalid_messages.value = value
 
     # ------------------------------------------------------------------
     # construction hooks (overridden by SFT-Streamlet)
@@ -116,6 +147,10 @@ class StreamletReplica(BaseReplica):
         if self.crashed:
             return
         self.current_round = round_number
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.context.now, "round", round=round_number, detail="clock"
+            )
         if self.sync is not None:
             # Lock-step rounds advance on the clock, so a replica whose
             # certified tip trails the round number is stale.
@@ -135,6 +170,16 @@ class StreamletReplica(BaseReplica):
             return  # cannot justify the extension; skip the slot
         proposal = self._signed_proposal(parent, parent_qc, round_number)
         self.blocks_proposed += 1
+        tracer = self.tracer
+        if tracer is not None:
+            block = proposal.block
+            txs = block.payload.transactions
+            tracer.emit(
+                block.created_at, "propose", round=round_number,
+                height=block.height, block=block.id().short(),
+                value=sum(block.created_at - tx.submitted_at for tx in txs),
+                count=len(txs),
+            )
         self.context.multicast(proposal, include_self=True)
 
     def _signed_proposal(
@@ -289,6 +334,11 @@ class StreamletReplica(BaseReplica):
         vote = self._make_vote(block)
         self._voted_rounds.add(round_number)
         self.votes_sent += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.context.now, "vote", round=round_number,
+                height=block.height, block=block.id().short(),
+            )
         self._after_vote(block)
         vote_msg = VoteMsg(sender=self.replica_id, vote=vote)
         if self.config.linear_votes:
@@ -341,6 +391,17 @@ class StreamletReplica(BaseReplica):
             block_id=block_id, round=round_number, height=height, votes=votes
         )
         self._formed_qcs.add(block_id)
+        if self.tracer is not None:
+            # Streamlet forms the QC the instant the quorum completes,
+            # so collection and formation share a timestamp.
+            self.tracer.emit(
+                self.context.now, "votes_collected", round=round_number,
+                height=height, block=block_id.short(), count=len(votes),
+            )
+            self.tracer.emit(
+                self.context.now, "qc_formed", round=round_number,
+                height=height, block=block_id.short(), count=len(votes),
+            )
         self._process_qc(qc, self.context.now)
         if (
             self.config.linear_votes
@@ -370,7 +431,21 @@ class StreamletReplica(BaseReplica):
             if qc.block_id not in self._qcs_processed:
                 self._qcs_processed.add(qc.block_id)
                 self.store.record_qc(qc)
-                self._on_new_certification(qc, now)
+                tracer = self.tracer
+                if tracer is None:
+                    self._on_new_certification(qc, now)
+                else:
+                    tracer.emit(
+                        now, "qc", round=qc.round, height=qc.height,
+                        block=qc.block_id.short(), count=len(qc.votes),
+                    )
+                    commits_before = len(self.commit_tracker.commit_order)
+                    self._on_new_certification(qc, now)
+                    for event in self.commit_tracker.commit_order[commits_before:]:
+                        tracer.emit(
+                            now, "commit", round=event.round,
+                            height=event.height, block=event.block_id.short(),
+                        )
         else:
             self._pending_qcs.setdefault(qc.block_id, qc)
             if self.sync is not None and not qc.is_genesis():

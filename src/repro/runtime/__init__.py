@@ -12,7 +12,7 @@ from repro.runtime.metrics import (
     strong_latency_series,
     throughput_txps,
 )
-from repro.runtime.tracing import TraceLog, attach_tracer
+from repro.obs import TraceLog
 
 __all__ = [
     "ExperimentConfig",
@@ -23,7 +23,6 @@ __all__ = [
     "CommitFeedback",
     "ConflictAwareMempool",
     "TraceLog",
-    "attach_tracer",
     "LatencyReport",
     "check_commit_safety",
     "regular_commit_latency",

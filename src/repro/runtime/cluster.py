@@ -47,6 +47,7 @@ class Cluster:
         self.replica_overrides = dict(replica_overrides or {})
         self.byzantine_ids: frozenset = frozenset()
         self.workload = None  # KVWorkload when workload_rate > 0
+        self.trace = None  # shared TraceLog when trace_level != "off"
         self._built = False
 
     # ------------------------------------------------------------------
@@ -63,10 +64,15 @@ class Cluster:
             else dict(replica_overrides)
         )
         self.byzantine_ids = frozenset(overrides)
+        if getattr(self.config, "trace_level", "off") != "off":
+            from repro.obs import TraceLog
+
+            self.trace = TraceLog()
         default_class = _PROTOCOL_CLASSES[self.config.protocol]
         for replica_id in range(self.config.n):
             context = ReplicaContext(
-                replica_id, self.network, self.simulator, self.registry
+                replica_id, self.network, self.simulator, self.registry,
+                trace=self.trace,
             )
             replica_class = overrides.get(replica_id, default_class)
             replica = replica_class(self.config.replica_config(replica_id), context)

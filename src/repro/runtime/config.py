@@ -91,6 +91,12 @@ class ExperimentConfig:
     # replicas sign state digests; 2f+1 matching digests truncate
     # history and enable snapshot joins.  0 keeps runs byte-for-byte.
     checkpoint_interval: int = 0
+    # Observability (repro.obs): span-chain tracing level ("off",
+    # "spans", "full") and the always-on per-replica flight-recorder
+    # ring.  trace_level off keeps runs byte-for-byte; the flight ring
+    # never feeds behaviour or metrics.
+    trace_level: str = "off"
+    flight_recorder: bool = True
     # Run control.
     duration: float = 60.0
     seed: int = 1
@@ -181,6 +187,8 @@ class ExperimentConfig:
             pipelined_proposals=self.pipelined_proposals,
             linear_votes=self.linear_votes,
             checkpoint_interval=self.checkpoint_interval,
+            trace_level=self.trace_level,
+            flight_recorder=self.flight_recorder,
         )
         if self.protocol in ("streamlet", "sft-streamlet"):
             duration = self.streamlet_round_duration

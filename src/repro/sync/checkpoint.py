@@ -117,13 +117,80 @@ class CheckpointManager:
         self._next_nonce = 0
         self._max_attempts = 3 * max(1, self.config.n - 1)
         # Statistics (deterministic; surfaced in campaign metrics).
-        self.checkpoints_signed = 0
-        self.certificates_formed = 0
-        self.blocks_truncated = 0
-        self.snapshots_served = 0
-        self.snapshots_installed = 0
-        self.invalid_snapshots = 0
-        self.peer_rotations = 0
+        # Registry-backed; legacy attribute API preserved via the
+        # property shims below.
+        metrics = replica.metrics
+        self._c_checkpoints_signed = metrics.counter("checkpoint.signed")
+        self._c_certificates_formed = metrics.counter("checkpoint.certificates")
+        self._c_blocks_truncated = metrics.counter("checkpoint.blocks_truncated")
+        self._c_snapshots_served = metrics.counter("checkpoint.snapshots_served")
+        self._c_snapshots_installed = metrics.counter(
+            "checkpoint.snapshots_installed"
+        )
+        self._c_invalid_snapshots = metrics.counter(
+            "checkpoint.invalid_snapshots"
+        )
+        self._c_peer_rotations = metrics.counter("checkpoint.peer_rotations")
+
+    # ------------------------------------------------------------------
+    # registry-backed statistics (legacy attribute API preserved)
+    # ------------------------------------------------------------------
+
+    @property
+    def checkpoints_signed(self) -> int:
+        return self._c_checkpoints_signed.value
+
+    @checkpoints_signed.setter
+    def checkpoints_signed(self, value: int) -> None:
+        self._c_checkpoints_signed.value = value
+
+    @property
+    def certificates_formed(self) -> int:
+        return self._c_certificates_formed.value
+
+    @certificates_formed.setter
+    def certificates_formed(self, value: int) -> None:
+        self._c_certificates_formed.value = value
+
+    @property
+    def blocks_truncated(self) -> int:
+        return self._c_blocks_truncated.value
+
+    @blocks_truncated.setter
+    def blocks_truncated(self, value: int) -> None:
+        self._c_blocks_truncated.value = value
+
+    @property
+    def snapshots_served(self) -> int:
+        return self._c_snapshots_served.value
+
+    @snapshots_served.setter
+    def snapshots_served(self, value: int) -> None:
+        self._c_snapshots_served.value = value
+
+    @property
+    def snapshots_installed(self) -> int:
+        return self._c_snapshots_installed.value
+
+    @snapshots_installed.setter
+    def snapshots_installed(self, value: int) -> None:
+        self._c_snapshots_installed.value = value
+
+    @property
+    def invalid_snapshots(self) -> int:
+        return self._c_invalid_snapshots.value
+
+    @invalid_snapshots.setter
+    def invalid_snapshots(self, value: int) -> None:
+        self._c_invalid_snapshots.value = value
+
+    @property
+    def peer_rotations(self) -> int:
+        return self._c_peer_rotations.value
+
+    @peer_rotations.setter
+    def peer_rotations(self, value: int) -> None:
+        self._c_peer_rotations.value = value
 
     # ------------------------------------------------------------------
     # driving: execute committed blocks, sign interval boundaries
@@ -171,6 +238,15 @@ class CheckpointManager:
         signature = self.context.signing_key.sign(message.signing_payload())
         message = replace(message, signature=signature)
         self.checkpoints_signed += 1
+        tracer = self.replica.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.context.now,
+                "checkpoint",
+                height=snapshot.height,
+                block=snapshot.block_id.short(),
+                count=snapshot.applied_count,
+            )
         self.context.multicast(message, include_self=True)
 
     # ------------------------------------------------------------------
@@ -223,6 +299,15 @@ class CheckpointManager:
     def _form_certificate(self, key, signers: dict) -> None:
         height, block_id, digest = key
         self.certificates_formed += 1
+        tracer = self.replica.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.context.now,
+                "checkpoint_stable",
+                height=height,
+                block=block_id.short(),
+                count=len(signers),
+            )
         self.stable = _StableCheckpoint(
             height=height,
             block_id=block_id,
@@ -309,6 +394,15 @@ class CheckpointManager:
         )
         signature = self.context.signing_key.sign(request.signing_payload())
         request = replace(request, signature=signature)
+        tracer = self.replica.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.context.now,
+                "snapshot_request",
+                height=fetch.min_height,
+                detail=f"peer={fetch.peer}",
+                count=fetch.attempts,
+            )
         self.context.send(fetch.peer, request)
         # Snapshots are bulky; give peers a few sync-retry budgets.
         fetch.timer = self.context.set_timer(
@@ -393,6 +487,15 @@ class CheckpointManager:
                 rejected_count=snapshot.rejected_count,
             )
             self.snapshots_served += 1
+            tracer = self.replica.tracer
+            if tracer is not None:
+                tracer.emit(
+                    self.context.now,
+                    "snapshot_serve",
+                    height=stable.height,
+                    block=stable.block_id.short(),
+                    detail=f"peer={src}",
+                )
         signature = self.context.signing_key.sign(response.signing_payload())
         self.context.send(src, replace(response, signature=signature))
 
@@ -532,6 +635,16 @@ class CheckpointManager:
             if key[0] > msg.cert_height
         }
         self.snapshots_installed += 1
+        tracer = replica.tracer
+        if tracer is not None:
+            tracer.emit(
+                now,
+                "snapshot_install",
+                round=msg.block.round,
+                height=msg.cert_height,
+                block=msg.cert_block_id.short(),
+                detail=f"peer={msg.sender}",
+            )
         if flushed:
             # Buffered orphans that re-attached under the new root flow
             # through the ordinary post-insertion path (voting, QCs).

@@ -73,12 +73,67 @@ class SyncManager:
         # times; a fresh staleness signal restarts the fetch.
         self._max_attempts = 3 * max(1, self.config.n - 1)
         # Statistics (deterministic; surfaced in campaign metrics).
-        self.requests_sent = 0
-        self.responses_served = 0
-        self.responses_applied = 0
-        self.invalid_responses = 0
-        self.blocks_synced = 0
-        self.peer_rotations = 0
+        # Registry-backed counters; the property shims below keep the
+        # legacy attribute API.
+        metrics = replica.metrics
+        self._c_requests_sent = metrics.counter("sync.requests_sent")
+        self._c_responses_served = metrics.counter("sync.responses_served")
+        self._c_responses_applied = metrics.counter("sync.responses_applied")
+        self._c_invalid_responses = metrics.counter("sync.invalid_responses")
+        self._c_blocks_synced = metrics.counter("sync.blocks_synced")
+        self._c_peer_rotations = metrics.counter("sync.peer_rotations")
+
+    # ------------------------------------------------------------------
+    # registry-backed statistics (legacy attribute API preserved)
+    # ------------------------------------------------------------------
+
+    @property
+    def requests_sent(self) -> int:
+        return self._c_requests_sent.value
+
+    @requests_sent.setter
+    def requests_sent(self, value: int) -> None:
+        self._c_requests_sent.value = value
+
+    @property
+    def responses_served(self) -> int:
+        return self._c_responses_served.value
+
+    @responses_served.setter
+    def responses_served(self, value: int) -> None:
+        self._c_responses_served.value = value
+
+    @property
+    def responses_applied(self) -> int:
+        return self._c_responses_applied.value
+
+    @responses_applied.setter
+    def responses_applied(self, value: int) -> None:
+        self._c_responses_applied.value = value
+
+    @property
+    def invalid_responses(self) -> int:
+        return self._c_invalid_responses.value
+
+    @invalid_responses.setter
+    def invalid_responses(self, value: int) -> None:
+        self._c_invalid_responses.value = value
+
+    @property
+    def blocks_synced(self) -> int:
+        return self._c_blocks_synced.value
+
+    @blocks_synced.setter
+    def blocks_synced(self, value: int) -> None:
+        self._c_blocks_synced.value = value
+
+    @property
+    def peer_rotations(self) -> int:
+        return self._c_peer_rotations.value
+
+    @peer_rotations.setter
+    def peer_rotations(self, value: int) -> None:
+        self._c_peer_rotations.value = value
 
     # ------------------------------------------------------------------
     # staleness detection (called by the owning replica)
@@ -136,6 +191,14 @@ class SyncManager:
         signature = self.context.signing_key.sign(request.signing_payload())
         request = replace(request, signature=signature)
         self.requests_sent += 1
+        tracer = self.replica.tracer
+        if tracer is not None:
+            target = "" if fetch.target is _TIP else fetch.target.short()
+            tracer.emit(
+                self.context.now, "sync_request", block=target,
+                detail=f"peer={fetch.peer}" + ("" if target else " target=tip"),
+                count=fetch.attempts,
+            )
         self.context.send(fetch.peer, request)
         fetch.timer = self.context.set_timer(
             self.config.sync_retry, self._retry, fetch.target, fetch.nonce
@@ -210,6 +273,12 @@ class SyncManager:
         signature = self.context.signing_key.sign(response.signing_payload())
         response = replace(response, signature=signature)
         self.responses_served += 1
+        tracer = self.replica.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.context.now, "sync_serve",
+                detail=f"peer={src}", count=len(blocks),
+            )
         self.context.send(src, response)
 
     # ------------------------------------------------------------------
@@ -249,6 +318,12 @@ class SyncManager:
             tip_qc = msg.tip_qc
         self.responses_applied += 1
         self.blocks_synced += len(inserted)
+        tracer = self.replica.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.context.now, "sync_apply",
+                detail=f"peer={src}", count=len(inserted),
+            )
 
         self._cancel_timer(fetch)
         if fetch.target is _TIP and not self._resolved(fetch):

@@ -1,31 +1,41 @@
-"""Event tracing instrumentation and the command-line interface."""
+"""Structured lifecycle tracing, flight recording, and the CLI."""
 
 import io
+import json
 from contextlib import redirect_stderr, redirect_stdout
 
 import pytest
 
 from repro.cli import main as cli_main
+from repro.obs import (
+    TraceLog,
+    breakdown_from_cluster,
+    breakdown_from_trace,
+)
 from repro.runtime.config import build_cluster
-from repro.runtime.tracing import TraceLog, attach_tracer
 from tests.conftest import small_experiment
 
 
 class TestTracing:
-    def _traced_run(self, duration=4.0):
-        cluster = build_cluster(small_experiment(duration=duration)).build()
-        trace = TraceLog()
-        attach_tracer(cluster.replicas[0], trace)
-        cluster.run(duration)
-        return cluster, trace
+    def _traced_run(self, duration=4.0, **overrides):
+        config = small_experiment(
+            duration=duration, trace_level="spans", **overrides
+        )
+        cluster = build_cluster(config).run()
+        return cluster, cluster.trace
 
-    def test_rounds_and_votes_traced(self):
+    def test_lifecycle_spans_traced(self):
         _, trace = self._traced_run()
         kinds = trace.kinds()
-        assert kinds.get("new-round", 0) > 50
-        assert kinds.get("vote", 0) > 50
-        assert kinds.get("qc", 0) > 50
-        assert kinds.get("commit", 0) > 50
+        # The full causal chain: proposed → votes_collected → qc_formed
+        # → endorsed → committed, plus round entries and votes.
+        for kind in ("round", "propose", "vote", "votes_collected",
+                     "qc_formed", "qc", "endorse", "commit"):
+            assert kinds.get(kind, 0) > 0, f"no {kind} events"
+        assert kinds["round"] > 50
+        assert kinds["vote"] > 50
+        assert kinds["qc"] > 50
+        assert kinds["commit"] > 50
 
     def test_round_timeline_monotone(self):
         _, trace = self._traced_run()
@@ -42,11 +52,27 @@ class TestTracing:
         assert late
         assert all(event.time >= 2.0 for event in late)
         assert all(event.kind == "commit" for event in late)
-        assert trace.events(replica_id=3) == []  # only replica 0 traced
+        one_replica = trace.events(kind="vote", replica_id=3)
+        assert one_replica
+        assert all(event.replica_id == 3 for event in one_replica)
+        assert trace.events(kind="no-such-kind") == []
+
+    def test_spans_carry_block_context(self):
+        _, trace = self._traced_run()
+        for event in trace.events(kind="commit"):
+            assert event.round >= 0
+            assert event.height >= 0
+            assert event.block
+        for event in trace.events(kind="endorse"):
+            assert event.value >= 0.0  # the strength level reached
 
     def test_tracing_does_not_change_behaviour(self):
         traced_cluster, _ = self._traced_run()
         plain_cluster = build_cluster(small_experiment(duration=4.0)).run()
+        assert (
+            traced_cluster.simulator.events_processed
+            == plain_cluster.simulator.events_processed
+        )
         traced_commits = [
             event.block_id
             for event in traced_cluster.replicas[0].commit_tracker.commit_order
@@ -57,12 +83,34 @@ class TestTracing:
         ]
         assert traced_commits == plain_commits
 
+    def test_trace_level_off_has_no_span_log(self):
+        cluster = build_cluster(small_experiment(duration=1.0)).run()
+        assert cluster.trace is None
+
+    def test_full_level_adds_deliveries(self):
+        config = small_experiment(duration=2.0, trace_level="full")
+        cluster = build_cluster(config).run()
+        kinds = cluster.trace.kinds()
+        assert kinds.get("deliver", 0) > 100
+
     def test_capacity_bound(self):
         trace = TraceLog(capacity=10)
         for index in range(25):
-            trace.record(float(index), 0, "x", "detail")
+            trace.record(float(index), 0, "x")
         assert len(trace) == 10
         assert trace.dropped == 15
+        assert len(trace.events(kind="x")) == 10
+
+    def test_breakdown_matches_cluster_state(self):
+        cluster, trace = self._traced_run(
+            duration=6.0, workload_rate=200.0, batch_size=64
+        )
+        from_state = breakdown_from_cluster(cluster.replicas[0])
+        from_spans = breakdown_from_trace(trace, 0)
+        assert from_state == from_spans
+        assert from_state["mempool_wait_s"] is not None
+        assert from_state["proposal_to_qc_s"] is not None
+        assert from_state["qc_to_commit_s"] is not None
 
 
 class TestCLI:
@@ -115,3 +163,79 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             self._run_cli(["frobnicate"])
+
+
+class TestTraceCLI:
+    def _run_cli(self, argv):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with redirect_stdout(stdout), redirect_stderr(stderr):
+            code = cli_main(argv)
+        return code, stdout.getvalue(), stderr.getvalue()
+
+    def _scenario_file(self, tmp_path):
+        from repro.experiments import ScenarioSpec
+        from repro.experiments.spec import save_scenario
+
+        spec = ScenarioSpec(
+            name="trace_cli_case",
+            protocol="sft-diembft",
+            n=4,
+            topology="uniform",
+            uniform_delay=0.01,
+            jitter=0.002,
+            duration=3.0,
+            round_timeout=0.5,
+            seeds=(7,),
+        )
+        path = tmp_path / "trace_cli_case.json"
+        save_scenario(spec, path)
+        return path
+
+    def test_trace_summarize(self, tmp_path):
+        path = self._scenario_file(tmp_path)
+        code, out, _ = self._run_cli(["trace", "summarize", str(path)])
+        assert code == 0
+        assert "events recorded:" in out
+        assert "latency breakdown" in out
+        assert "proposal_to_qc_s" in out
+
+    def test_trace_export_valid_chrome_json(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        path = self._scenario_file(tmp_path)
+        out_path = tmp_path / "trace.json"
+        code, out, _ = self._run_cli(
+            ["trace", "export", str(path), "--out", str(out_path)]
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert validate_chrome_trace(data) == []
+        assert data["otherData"]["latency_breakdown"]["qc_to_commit_s"] > 0
+        thread_names = [
+            event for event in data["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        ]
+        assert len(thread_names) == 4  # one named track per replica
+
+    def test_trace_rejects_scripted_spec(self, tmp_path):
+        # Scripted specs have no cluster to trace; clean exit, code 2.
+        with pytest.raises(SystemExit) as excinfo:
+            self._run_cli(
+                ["trace", "summarize",
+                 "scenarios/fuzz_corpus/appendix_c_naive.json"]
+            )
+        assert excinfo.value.code == 2
+
+    def test_fuzz_replay_writes_flight_dump(self, tmp_path):
+        dump_path = tmp_path / "flight.json"
+        code, _, err = self._run_cli(
+            ["fuzz", "replay", "scenarios/fuzz_corpus/lazy_quorum_stall.json",
+             "--flight-out", str(dump_path)]
+        )
+        assert code == 1  # the replay violates post-gst-liveness
+        assert dump_path.exists(), err
+        recording = json.loads(dump_path.read_text())
+        assert recording["violations"]
+        assert recording["replicas"]
+        some_replica = next(iter(recording["replicas"].values()))
+        assert some_replica["events"]
