@@ -281,6 +281,26 @@ def make_sync_withholder(replica_class):
     return SyncWithholder
 
 
+def make_amnesia(replica_class):
+    """A replica that restarts *without* its durable voting record.
+
+    The behaviour itself is perfectly honest — it follows the protocol
+    before the crash and after the restart.  The fault is purely one of
+    durability: ``wal_restore = False`` makes the cluster rebuild it
+    with no WAL, so the reborn instance has forgotten every round it
+    voted in and will happily vote again — the double-vote the
+    invariant oracle must catch.  This is the differential proving the
+    WAL is load-bearing: the identical crash/restart schedule with
+    ``recover`` (WAL reload) in place of ``amnesia`` commits safely.
+    """
+
+    class Amnesiac(replica_class):
+        wal_restore = False
+
+    Amnesiac.__name__ = f"Amnesiac{replica_class.__name__}"
+    return Amnesiac
+
+
 #: Behaviour name → class factory, for declarative fault mixes
 #: (:mod:`repro.experiments`) and the schedule fuzzer
 #: (:mod:`repro.fuzz`).  Factories taking extra knobs (reach, delay)
@@ -292,4 +312,5 @@ BEHAVIOR_FACTORIES = {
     "lazy": make_lazy_voter,
     "marker_lie": make_marker_liar,
     "sync_withhold": make_sync_withholder,
+    "amnesia": make_amnesia,
 }

@@ -36,6 +36,7 @@ INVARIANTS = (
     "definition-1",
     "prefix-consistency",
     "strength-monotonicity",
+    "double-vote",
     "post-gst-liveness",
 )
 
@@ -234,19 +235,91 @@ def check_strength_monotonicity(replicas):
 
 
 # ----------------------------------------------------------------------
+# double votes
+# ----------------------------------------------------------------------
+
+
+def check_double_votes(cluster) -> list:
+    """No replica's vote certifies two different blocks in one round.
+
+    The oracle scans every certificate any honest observer recorded and
+    builds a ``(round, voter) -> block`` map; a voter appearing in two
+    same-round QCs for different blocks equivocated its vote.  Declared
+    Byzantine replicas are excused — a Byzantine voter may sign
+    anything, and the adversarial leaders deliberately manufacture the
+    forks these QCs certify.  *Not* excused: crash-recovery replicas
+    and the scripted amnesiacs (``wal_restore = False``).  A recovered
+    replica re-voting a pre-crash round is exactly the durability bug
+    the WAL exists to prevent, and the amnesia differential relies on
+    this check firing when the WAL is taken away.
+    """
+    excused = {
+        replica.replica_id
+        for replica in cluster.replicas
+        if replica.replica_id in cluster.byzantine_ids
+        and getattr(replica, "wal_restore", True)
+    }
+    first_seen: dict[tuple, object] = {}
+    reported: set = set()
+    violations = []
+    for replica in honest_observers(cluster):
+        for qc in replica.store.all_qcs():
+            for vote in qc.votes:
+                if vote.voter in excused:
+                    continue
+                key = (qc.round, vote.voter)
+                existing = first_seen.get(key)
+                if existing is None:
+                    first_seen[key] = qc.block_id
+                elif existing != qc.block_id and key not in reported:
+                    reported.add(key)
+                    violations.append(
+                        InvariantViolation(
+                            invariant="double-vote",
+                            detail=(
+                                f"replica {vote.voter} voted for both "
+                                f"{existing.short()} and "
+                                f"{qc.block_id.short()} in round "
+                                f"{qc.round} (durable voting record "
+                                f"violated)"
+                            ),
+                        )
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
 # post-GST liveness
 # ----------------------------------------------------------------------
 
 
 def recovery_time(spec) -> float:
     """When the run reaches its final stable configuration: after GST,
-    after every partition heals, and after the last scheduled crash."""
+    after every partition heals, after the last scheduled crash, and
+    after every crash-recovery replica has restarted."""
     recovery = max(spec.gst, 0.0)
     for window in spec.partitions:
         recovery = max(recovery, window.end)
     if spec.faults.crash:
         recovery = max(recovery, spec.faults.crash_at)
+    if spec.faults.recover or spec.faults.amnesia:
+        recovery = max(recovery, spec.faults.recover_at + spec.faults.downtime)
     return recovery
+
+
+def _max_delay_s(spec) -> float:
+    """The worst one-hop network delay the *resolved* topology can
+    produce, mirroring ``ExperimentConfig._max_delay`` exactly.
+    (Taking the max over every topology's knobs — the pre-fix
+    behaviour — inflated uniform-topology pacing by delta/ab_delay,
+    which made ``liveness_applicable`` count lazy voters as fast
+    enough and misjudge genuinely-stalled schedules as violations.)"""
+    candidates = [spec.intra_delay]
+    if spec.topology == "uniform":
+        candidates.append(spec.uniform_delay)
+    else:
+        candidates.extend([spec.delta, spec.ab_delay])
+    return max(candidates)
 
 
 def _per_round_s(spec) -> float:
@@ -255,14 +328,7 @@ def _per_round_s(spec) -> float:
     if spec.protocol in ("streamlet", "sft-streamlet"):
         per_round = spec.streamlet_round_duration
         if per_round is None:
-            # Mirrors ExperimentConfig's derived round duration; taking
-            # the max over every topology's delay knob can only make
-            # the liveness bound more generous, never too tight.
-            per_round = 2.0 * (
-                max(spec.uniform_delay, spec.delta, spec.intra_delay,
-                    spec.ab_delay)
-                + spec.jitter
-            ) + 0.005
+            per_round = 2.0 * (_max_delay_s(spec) + spec.jitter) + 0.005
         return per_round
     return spec.round_timeout
 
@@ -310,11 +376,31 @@ def liveness_applicable(spec) -> bool:
     """
     f = spec.resolved_f()
     non_voting = spec.faults.non_voting()
+    if not spec.sync_enabled:
+        # Without block-sync a reborn replica can never rebuild its
+        # volatile block store, and the WAL's certified floor keeps it
+        # safe but mute — it is a permanent non-voter, exactly like a
+        # crash that never came back.
+        non_voting += spec.faults.recover + spec.faults.amnesia
     if spec.faults.lazy and spec.faults.lazy_delay >= _per_round_s(spec) / 2:
         non_voting += spec.faults.lazy
     if non_voting > f:
         return False
     streamlet = spec.protocol in ("streamlet", "sft-streamlet")
+    if streamlet and spec.reorder_window:
+        # Streamlet's lock-step slot budgets exactly one proposal hop
+        # plus one vote hop at worst-case delay; a replica refuses any
+        # proposal arriving outside its slot.  At-least-once reordering
+        # adds up to ``reorder_window`` per hop on top of that, so a
+        # slot too short for the inflated round trip breaks the
+        # synchrony assumption liveness is conditioned on — the fuzzer
+        # found schedules with no Byzantine faults at all that stall at
+        # zero commits this way.  (DiemBFT-family timeouts back off and
+        # retry, so bounded reordering only slows them down.)
+        needed = 2.0 * (_max_delay_s(spec) + spec.jitter
+                        + spec.reorder_window) + 0.005
+        if _per_round_s(spec) < needed:
+            return False
     if streamlet:
         # Linear vote collection routes Streamlet votes to the leader
         # of ``r + 1`` instead of broadcasting, so certifying the three
@@ -356,7 +442,10 @@ def _longest_correct_leader_run(spec) -> int:
     assigned = spec.faults.assignments(spec.n)
     faulty = set()
     for name, ids in assigned.items():
-        if name in ("crash", "equivocate"):
+        if name in ("crash", "equivocate", "recover", "amnesia"):
+            # Crash-recovery replicas do come back, but their slots are
+            # dead during the downtime and only trustworthy again after
+            # catch-up — conservatively keep them out of the window.
             faulty.update(ids)
         elif name == "withhold":
             for replica_id in ids:
@@ -449,6 +538,7 @@ def check_cluster_invariants(cluster, spec=None) -> list:
     violations.extend(check_definition_1(replicas, actual_faults, expected=naive))
     violations.extend(check_prefix_consistency(replicas))
     violations.extend(check_strength_monotonicity(replicas))
+    violations.extend(check_double_votes(cluster))
     violations.extend(check_post_gst_liveness(cluster, spec))
     return violations
 

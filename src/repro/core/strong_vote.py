@@ -53,6 +53,11 @@ class VotingHistory:
         self._tips: list[BlockId] = []
         self._all_votes: list[BlockId] = []
         self.highest_voted_round = 0
+        # Crash-recovery: tips reloaded from the WAL as (id, key) pairs.
+        # Their blocks may be absent from the fresh post-restart store,
+        # so they are kept separately with their fsync-time keys and
+        # treated conservatively (see marker_for / intervals_for).
+        self._restored: dict[BlockId, int] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -74,10 +79,45 @@ class VotingHistory:
         ]
         surviving.append(block_id)
         self._tips = surviving
+        if self._restored:
+            # A restored tip the new vote demonstrably extends is
+            # absorbed exactly like a live tip; unknown-lineage tips
+            # stay (conservatively treated as conflicting).
+            self._restored = {
+                tip: key
+                for tip, key in self._restored.items()
+                if not (
+                    tip in self._store
+                    and self._store.is_ancestor(tip, block_id)
+                )
+            }
 
     def voted_tips(self) -> tuple:
         """Current maximal voted blocks, one per live fork."""
         return tuple(self._tips)
+
+    def tip_keys(self) -> tuple:
+        """The tip set as durable ``(block_id, key)`` pairs — what the
+        WAL persists so markers survive a crash."""
+        live = tuple(
+            (tip, _key_of(self._store.get(tip), self._mode))
+            for tip in self._tips
+        )
+        return live + tuple(self._restored.items())
+
+    def restore(self, entries, highest_voted_round: int) -> None:
+        """Crash-recovery seam: reload WAL ``(block_id, key)`` tips.
+
+        Restored tips whose blocks the fresh store does not (yet) know
+        cannot be placed in the chain, so they contribute their full
+        fsync-time key to every marker — the safe direction: an
+        inflated marker endorses *fewer* rounds, never more.
+        """
+        for tip, key in entries:
+            self._restored[tip] = max(self._restored.get(tip, 0), key)
+        self.highest_voted_round = max(
+            self.highest_voted_round, highest_voted_round
+        )
 
     def forget_pruned(self, pruned) -> None:
         """Drop voted blocks removed by checkpoint truncation.
@@ -92,6 +132,8 @@ class VotingHistory:
         self._all_votes = [
             voted for voted in self._all_votes if voted not in pruned
         ]
+        for block_id in pruned:
+            self._restored.pop(block_id, None)
 
     def vote_count(self) -> int:
         return len(self._all_votes)
@@ -107,6 +149,14 @@ class VotingHistory:
         for tip in self._tips:
             if self._store.conflicts(tip, block_id):
                 marker = max(marker, _key_of(self._store.get(tip), self._mode))
+        for tip, key in self._restored.items():
+            if tip in self._store:
+                if self._store.conflicts(tip, block_id):
+                    marker = max(marker, key)
+            else:
+                # Unknown lineage: assume the worst (a conflict) so the
+                # post-restart marker never under-reports.
+                marker = max(marker, key)
         return marker
 
     def marker_brute_force(self, block: Block) -> int:
@@ -143,6 +193,16 @@ class VotingHistory:
             r_l = _key_of(ancestor, self._mode)
             r_h = _key_of(tip_block, self._mode)
             excluded.append((r_l + 1, r_h))
+        for tip, key in self._restored.items():
+            if tip in self._store:
+                if not self._store.conflicts(tip, block_id):
+                    continue
+                ancestor = self._store.common_ancestor(block_id, tip)
+                excluded.append((_key_of(ancestor, self._mode) + 1, key))
+            else:
+                # Unknown lineage after a restart: exclude the whole
+                # prefix up to the fsync-time key (never over-endorse).
+                excluded.append((1, key))
         return base.subtract(IntervalSet.from_pairs(excluded))
 
     def intervals_brute_force(

@@ -263,6 +263,19 @@ def collect_job_metrics(cluster, spec) -> dict:
         "strong_safety_violations": strong_violations,
         "invariants": invariant_report(invariant_violations),
     }
+    # Crash-recovery totals only when the schedule is active: the key
+    # is absent on default-off runs so committed baselines keep their
+    # exact metric shape.
+    if getattr(cluster, "durable", None) is not None:
+        metrics["recoveries"] = {
+            "restarts": cluster.restarts,
+            "amnesia_restarts": cluster.amnesia_restarts,
+            **cluster.durable.stats(),
+        }
+    # Likewise the at-least-once delivery counter: present only when
+    # the network actually sampled the fault.
+    if "duplicated" in message_stats:
+        metrics["messages"]["duplicated"] = message_stats["duplicated"]
     if safety_error is not None:
         metrics["safety_error"] = safety_error
     return metrics

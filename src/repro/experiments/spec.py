@@ -56,6 +56,14 @@ class FaultMix:
     ``sync_withhold`` replicas participate honestly but never answer
     block-sync requests (exercises the catch-up retry/peer-rotation
     path; a no-op when ``sync_enabled`` is off).
+
+    Crash-*recovery* faults (all default off): ``recover`` replicas
+    crash at ``recover_at``, lose every piece of volatile state, and
+    restart ``downtime`` seconds later from their durable WAL record,
+    rejoining via block-sync / snapshot transfer.  ``amnesia`` replicas
+    follow the same schedule but restart *without* the WAL — the
+    scripted differential that demonstrably double-votes, which the
+    invariant oracle must catch.
     """
 
     crash: int = 0
@@ -68,23 +76,34 @@ class FaultMix:
     lazy_delay: float = 0.5
     marker_lie: int = 0
     sync_withhold: int = 0
+    recover: int = 0
+    recover_at: float = 0.0
+    downtime: float = 1.0
+    amnesia: int = 0
 
     def __post_init__(self):
         for name in ("crash", "silent", "equivocate", "withhold", "lazy",
-                     "marker_lie", "sync_withhold"):
+                     "marker_lie", "sync_withhold", "recover", "amnesia"):
             _require_count(f"faults.{name}", getattr(self, name))
         _require_finite("faults.crash_at", self.crash_at)
         _require_finite("faults.lazy_delay", self.lazy_delay)
         _require_finite("faults.withhold_reach", self.withhold_reach)
+        _require_finite("faults.recover_at", self.recover_at)
+        _require_finite("faults.downtime", self.downtime)
         if self.withhold_reach > 1.0:
             raise ValueError(
                 f"faults.withhold_reach must be <= 1, got {self.withhold_reach!r}"
+            )
+        if (self.recover or self.amnesia) and self.downtime <= 0:
+            raise ValueError(
+                f"faults.downtime must be positive, got {self.downtime!r}"
             )
 
     def total(self) -> int:
         return (
             self.crash + self.silent + self.equivocate + self.withhold
             + self.lazy + self.marker_lie + self.sync_withhold
+            + self.recover + self.amnesia
         )
 
     def non_voting(self) -> int:
@@ -116,6 +135,10 @@ class FaultMix:
             ("marker_lie", self.marker_lie),
             ("sync_withhold", self.sync_withhold),
             ("crash", self.crash),
+            # Recovery faults come last so pre-existing specs keep the
+            # exact id assignments they always had.
+            ("recover", self.recover),
+            ("amnesia", self.amnesia),
         ):
             ids = tuple(range(next_id, next_id - count, -1))
             next_id -= count
@@ -128,7 +151,7 @@ class FaultMix:
         return tuple(
             replica_id
             for name in ("silent", "equivocate", "withhold", "lazy",
-                         "marker_lie", "sync_withhold")
+                         "marker_lie", "sync_withhold", "amnesia")
             for replica_id in assigned[name]
         )
 
@@ -153,6 +176,18 @@ class FaultMix:
         return tuple(
             (replica_id, self.crash_at)
             for replica_id in self.assignments(n)["crash"]
+        )
+
+    def recovery_schedule(self, n: int) -> tuple:
+        """``(replica_id, crash_time, restart_time)`` triples for every
+        crash-recovery fault (``recover`` and ``amnesia`` alike — the
+        amnesia differential runs the identical schedule, it just skips
+        the WAL reload on restart)."""
+        assigned = self.assignments(n)
+        return tuple(
+            (replica_id, self.recover_at, self.recover_at + self.downtime)
+            for name in ("recover", "amnesia")
+            for replica_id in assigned[name]
         )
 
 
@@ -211,6 +246,12 @@ class ScenarioSpec:
     processing_delay: float = 0.0
     gst: float = 0.0
     pre_gst_delay: float = 0.0
+    # At-least-once delivery faults (both default off ⇒ byte-identical
+    # replay): each unicast is duplicated with probability
+    # ``duplicate_rate``, and ``reorder_window`` seconds of extra
+    # per-message delay jitter lets later sends overtake earlier ones.
+    duplicate_rate: float = 0.0
+    reorder_window: float = 0.0
     # Protocol knobs.
     round_timeout: float = 0.5
     timeout_multiplier: float = 1.5
@@ -283,8 +324,13 @@ class ScenarioSpec:
             "delta", "intra_delay", "ab_delay", "uniform_delay", "jitter",
             "bandwidth_bytes_per_sec", "processing_delay", "gst",
             "pre_gst_delay", "qc_extra_wait", "workload_rate",
+            "duplicate_rate", "reorder_window",
         ):
             _require_finite(name, getattr(self, name))
+        if self.duplicate_rate > 1.0:
+            raise ValueError(
+                f"duplicate_rate must be <= 1, got {self.duplicate_rate!r}"
+            )
         _require_count("workload_payload_bytes", self.workload_payload_bytes)
         _require_count("max_batch_bytes", self.max_batch_bytes)
         _require_count("checkpoint_interval", self.checkpoint_interval)
@@ -365,6 +411,8 @@ class ScenarioSpec:
             processing_delay=self.processing_delay,
             gst=self.gst,
             pre_gst_delay=self.pre_gst_delay,
+            duplicate_rate=self.duplicate_rate,
+            reorder_window=self.reorder_window,
             round_timeout=self.round_timeout,
             timeout_multiplier=self.timeout_multiplier,
             max_timeout=self.max_timeout,
@@ -391,6 +439,7 @@ class ScenarioSpec:
             seed=self.seeds[0] if seed is None else seed,
             observers=self.observers,
             crash_schedule=self.faults.crash_schedule(self.n),
+            recovery_schedule=self.faults.recovery_schedule(self.n),
             partition_schedule=tuple(
                 (window.resolve(self.n), window.start, window.end)
                 for window in self.partitions

@@ -22,13 +22,19 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, replace
 
-from repro.adversary.behaviors import BEHAVIOR_FACTORIES
 from repro.analysis.invariants import liveness_bound_s, recovery_time
 from repro.experiments.spec import FaultMix, PartitionWindow, ScenarioSpec
 
-#: Behaviours the fault sampler draws from: every registered Byzantine
-#: behaviour plus benign crashes.
-FAULT_KINDS = tuple(BEHAVIOR_FACTORIES) + ("crash",)
+#: Behaviours the fault sampler draws from.  Pinned explicitly (not
+#: derived from BEHAVIOR_FACTORIES) so registering a new behaviour can
+#: never shift ``rng.choice`` and silently re-map every existing fuzz
+#: seed: crash-*recovery* faults sample from their own RNG stream
+#: below, and the scripted ``amnesia`` differential is deliberately
+#: not fuzzed (it is an expected safety violation, not a find).
+FAULT_KINDS = (
+    "silent", "equivocate", "withhold", "lazy", "marker_lie",
+    "sync_withhold", "crash",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +90,14 @@ class FuzzProfile:
     collector_crash_rate: float = 0.5
     checkpoint_rate: float = 0.3
     snapshot_lag_rate: float = 0.5
+    # Crash-recovery axis (own stream sft-fuzz-recovery:{name}:{seed}):
+    # how often one replica crashes, loses volatile state, and restarts
+    # from its WAL after a sampled downtime.
+    recovery_rate: float = 0.3
+    # At-least-once delivery axis (own stream
+    # sft-fuzz-delivery:{name}:{seed}): how often the run turns on
+    # seeded message duplication (and, half the time, reordering).
+    delivery_rate: float = 0.3
 
 
 DEFAULT_PROFILE = FuzzProfile()
@@ -302,6 +316,31 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
                 )
             )
 
+    # Crash-recovery axis: own stream, fault fields only touched when
+    # sampled on, so every pre-existing seed's schedule stays
+    # byte-identical.
+    recovery_rng = random.Random(f"sft-fuzz-recovery:{profile.name}:{seed}")
+    if recovery_rng.random() < profile.recovery_rate and faults.total() < n:
+        faults = replace(
+            faults,
+            recover=1,
+            recover_at=round(recovery_rng.uniform(0.3, duration * 0.4), 3),
+            downtime=round(recovery_rng.uniform(0.5, 2.0), 3),
+        )
+
+    # At-least-once delivery axis: own stream, kwargs only added when
+    # sampled on (same byte-identity discipline).
+    delivery_rng = random.Random(f"sft-fuzz-delivery:{profile.name}:{seed}")
+    delivery_kwargs: dict = {}
+    if delivery_rng.random() < profile.delivery_rate:
+        delivery_kwargs["duplicate_rate"] = delivery_rng.choice(
+            (0.05, 0.15, 0.3)
+        )
+        if delivery_rng.random() < 0.5:
+            delivery_kwargs["reorder_window"] = round(
+                delivery_rng.uniform(0.005, 0.05), 4
+            )
+
     return ScenarioSpec(
         name=name,
         protocol=protocol,
@@ -319,4 +358,5 @@ def generate_spec(seed: int, profile: FuzzProfile = DEFAULT_PROFILE) -> Scenario
         **topology_kwargs,
         **throughput_kwargs,
         **checkpoint_kwargs,
+        **delivery_kwargs,
     )

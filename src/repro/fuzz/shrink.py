@@ -23,7 +23,7 @@ from repro.experiments.spec import ScenarioSpec
 #: Fault-mix fields the shrinker tries to remove, in order.
 _FAULT_FIELDS = (
     "crash", "silent", "equivocate", "withhold", "lazy", "marker_lie",
-    "sync_withhold",
+    "sync_withhold", "recover", "amnesia",
 )
 
 
@@ -104,6 +104,16 @@ def _candidate_overrides(spec: ScenarioSpec):
         "withhold": {"faults.withhold_reach": 0.5},
         "lazy": {"faults.lazy_delay": 0.5},
     }
+    # recover and amnesia share the restart knobs; only reset those
+    # once the *other* kind is gone too.
+    if not spec.faults.amnesia:
+        knob_resets["recover"] = {
+            "faults.recover_at": 0.0, "faults.downtime": 1.0,
+        }
+    if not spec.faults.recover:
+        knob_resets["amnesia"] = {
+            "faults.recover_at": 0.0, "faults.downtime": 1.0,
+        }
     for field_name in _FAULT_FIELDS:
         count = getattr(spec.faults, field_name)
         if count:
@@ -126,6 +136,12 @@ def _candidate_overrides(spec: ScenarioSpec):
         yield {"linear_votes": False}
     if spec.checkpoint_interval:
         yield {"checkpoint_interval": 0}
+    # At-least-once delivery faults shed independently: dropping the
+    # reorder window first (it is the gentler fault), then duplication.
+    if spec.reorder_window:
+        yield {"reorder_window": 0.0}
+    if spec.duplicate_rate:
+        yield {"duplicate_rate": 0.0}
     if spec.gst or spec.pre_gst_delay:
         yield {"gst": 0.0, "pre_gst_delay": 0.0}
     if spec.jitter:

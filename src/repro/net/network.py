@@ -204,6 +204,14 @@ class NetworkConfig:
     ``pre_gst_delay`` extra (delivered no earlier than GST).
     ``bandwidth_bytes_per_sec`` serializes each sender's outgoing
     traffic; 0 disables bandwidth modelling.
+
+    At-least-once delivery faults (both default off, preserving
+    byte-identical replay): ``duplicate_rate`` redelivers each unicast
+    a second time with that probability, and ``reorder_window`` adds
+    ``U[0, reorder_window)`` extra seconds per message so later sends
+    can overtake earlier ones.  Channels stay reliable — the original
+    copy always arrives — but exactly-once is gone, which is the regime
+    where recovery/redelivery idempotency bugs hide.
     """
 
     jitter: float = 0.0
@@ -212,6 +220,8 @@ class NetworkConfig:
     pre_gst_delay: float = 0.0
     bandwidth_bytes_per_sec: float = 0.0
     processing_delay: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_window: float = 0.0
 
 
 @dataclass(slots=True)
@@ -247,6 +257,14 @@ class Network:
         self.topology = topology
         self.config = config or NetworkConfig()
         self._rng = random.Random(self.config.seed)
+        # At-least-once faults draw from their own stream so turning
+        # them on never perturbs the jitter / multicast-shuffle
+        # sequence above (byte-identical default-off replay).
+        self._delivery_rng = (
+            random.Random(f"at-least-once:{self.config.seed}")
+            if self.config.duplicate_rate > 0 or self.config.reorder_window > 0
+            else None
+        )
         self._handlers: dict[int, object] = {}
         self._uplink_busy_until: dict[int, float] = {}
         self._partitions: list[_Partition] = []
@@ -256,6 +274,7 @@ class Network:
         self.bytes_sent = 0
         self.sent_by_type: Counter = Counter()
         self.dropped_to_unregistered = 0
+        self.messages_duplicated = 0
 
     # ------------------------------------------------------------------
     # wiring
@@ -295,9 +314,35 @@ class Network:
 
         depart = now + self._serialization_delay(src, size)
         arrival = depart + self._link_delay(src, dst, depart)
+        if self._delivery_rng is not None:
+            arrival = self._at_least_once(src, dst, message, arrival)
         # Deliveries are never cancelled: the fire-and-forget fast path
         # skips allocating a TimerHandle per message.
         self.simulator.schedule_fire(arrival, self._deliver, src, dst, message)
+
+    def _at_least_once(self, src: int, dst: int, message, arrival: float) -> float:
+        """Apply the at-least-once delivery faults to one unicast.
+
+        Reordering perturbs this copy's arrival by ``U[0, window)``
+        extra seconds; duplication schedules an independent second
+        delivery inside the same window (or one topology delay when no
+        window is configured, so duplicates never arrive in lock-step
+        with the original).
+        """
+        rng = self._delivery_rng
+        window = self.config.reorder_window
+        if window > 0:
+            arrival += rng.uniform(0.0, window)
+        if self.config.duplicate_rate > 0 and (
+            rng.random() < self.config.duplicate_rate
+        ):
+            spread = window if window > 0 else self.topology.delay(src, dst)
+            extra = rng.uniform(0.0, spread) if spread > 0 else 0.0
+            self.messages_duplicated += 1
+            self.simulator.schedule_fire(
+                arrival + extra, self._deliver, src, dst, message
+            )
+        return arrival
 
     def multicast(self, src: int, message, include_self: bool = False) -> None:
         """Send ``message`` to every replica (optionally including ``src``).
@@ -386,9 +431,14 @@ class Network:
         self.sent_by_type = Counter()
 
     def stats(self) -> dict:
-        return {
+        data = {
             "sent": self.messages_sent,
             "delivered": self.messages_delivered,
             "bytes": self.bytes_sent,
             "by_type": dict(self.sent_by_type),
         }
+        if self._delivery_rng is not None:
+            # Only surfaced when the fault is on, so default-off runs
+            # keep the committed metrics schema byte-for-byte.
+            data["duplicated"] = self.messages_duplicated
+        return data

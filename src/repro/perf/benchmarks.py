@@ -260,6 +260,8 @@ def _fuzz_cases(seeds: tuple) -> list:
         linear_votes_rate=0.0,
         batching_rate=0.0,
         checkpoint_rate=0.0,
+        recovery_rate=0.0,
+        delivery_rate=0.0,
     )
     cases = []
     for seed in seeds:

@@ -145,6 +145,7 @@ class ReplicaContext:
         simulator: Simulator,
         registry: KeyRegistry,
         trace=None,
+        durable=None,
     ) -> None:
         self.replica_id = replica_id
         self.network = network
@@ -154,6 +155,10 @@ class ReplicaContext:
         #: Cluster-wide span log (repro.obs.TraceLog) when tracing is
         #: enabled; None otherwise.
         self.trace = trace
+        #: This replica's DurableState WAL record when the cluster has
+        #: a crash-recovery schedule; None otherwise (the default), in
+        #: which case no WAL work happens and runs replay byte-identically.
+        self.durable = durable
 
     @property
     def now(self) -> float:
@@ -172,12 +177,19 @@ class ReplicaContext:
 class BaseReplica:
     """Common lifecycle for every protocol replica."""
 
+    #: Whether a reborn instance reloads its WAL.  The scripted
+    #: ``amnesia`` behaviour sets this False to demonstrate that the
+    #: durable voting record is load-bearing (the amnesia differential).
+    wal_restore = True
+
     def __init__(self, config: ReplicaConfig, context: ReplicaContext) -> None:
         self.config = config
         self.context = context
         self.replica_id = context.replica_id
         self.crashed = False
         self.crash_at: float | None = None
+        #: DurableState write-ahead record (crash-recovery runs only).
+        self.wal = getattr(context, "durable", None)
         self.sync = None  # SyncManager, attached by _init_sync()
         self.checkpoint = None  # CheckpointManager, via _init_checkpoint()
         from repro.obs import FlightRecorder, MetricsRegistry, Tracer
@@ -227,6 +239,21 @@ class BaseReplica:
         """Benign (crash) fault: the replica stops entirely."""
         self.crashed = True
         self.context.network.unregister(self.replica_id)
+
+    def restore_from_wal(self, state) -> None:
+        """Reload safety-critical voting state after a restart.
+
+        Called by :meth:`~repro.runtime.cluster.Cluster.restart_replica`
+        on the *replacement* instance, before :meth:`start`.  Protocol
+        families override; the base implementation only counts the
+        restore so the recovery metrics section sees it.
+        """
+        state.note_restore()
+
+    def rejoin_after_restart(self) -> None:
+        """Called once after a restarted replica's :meth:`start`; the
+        protocol families override to kick off block-sync / snapshot
+        catch-up from the WAL's highest known certificate."""
 
     def deliver(self, src: int, message) -> None:
         """Network entry point; dispatches to ``on_message``.

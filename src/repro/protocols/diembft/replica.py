@@ -82,6 +82,10 @@ class DiemBFTReplica(BaseReplica):
         # Block-sync: last cast vote (recovered via timeout messages
         # when the aggregating next leader crashed).
         self._last_vote = None
+        # WAL qc_high stashed by restore_from_wal; fed through
+        # _process_qc by rejoin_after_restart() (after start(), which
+        # would otherwise reset the pacemaker round it advances).
+        self._wal_qc_high = None
         # Statistics: registry-backed counters; the property shims below
         # keep the legacy attribute API (+= sites, test assertions).
         self._c_blocks_proposed = self.metrics.counter("blocks_proposed")
@@ -170,6 +174,33 @@ class DiemBFTReplica(BaseReplica):
     def start(self) -> None:
         self.pacemaker.start()
 
+    def restore_from_wal(self, state) -> None:
+        """Reload the durable voting record after a restart.
+
+        ``r_vote`` is the amnesia-safety core: with it restored the
+        ordinary ``round <= r_vote`` voting guard refuses every round
+        the pre-crash incarnation already voted in.  ``qc_high`` is
+        only stashed here — ingesting it advances the pacemaker, which
+        ``start()`` would reset, so :meth:`rejoin_after_restart` feeds
+        it through ``_process_qc`` once the replica is live.
+        """
+        super().restore_from_wal(state)
+        self.r_vote = max(self.r_vote, state.r_vote)
+        self.r_lock = max(self.r_lock, state.r_lock)
+        if state.last_vote is not None:
+            self._last_vote = state.last_vote
+        self.pacemaker.restore_timed_out(state.timed_out_rounds)
+        if state.qc_high is not None and state.qc_high.round > self.qc_high.round:
+            self._wal_qc_high = state.qc_high
+
+    def rejoin_after_restart(self) -> None:
+        """Kick off catch-up from the WAL's highest known QC: its block
+        is unknown to the fresh store, so ``_process_qc`` routes it to
+        the block-sync / snapshot rejoin path."""
+        qc, self._wal_qc_high = self._wal_qc_high, None
+        if qc is not None:
+            self._process_qc(qc, self.context.now)
+
     def _default_payload(self, now: float) -> Payload:
         return Payload(
             batch=TxBatch(
@@ -254,6 +285,8 @@ class DiemBFTReplica(BaseReplica):
         signature = self.context.signing_key.sign(timeout.signing_payload())
         timeout = replace(timeout, signature=signature)
         self.timeouts_sent += 1
+        if self.wal is not None:
+            self.wal.record_timeout(round_number)
         if self.tracer is not None:
             self.tracer.emit(self.context.now, "timeout", round=round_number)
         self.context.multicast(timeout, include_self=True)
@@ -364,6 +397,10 @@ class DiemBFTReplica(BaseReplica):
             return
         if round_number <= self.r_vote:
             return
+        if self.wal is not None and self.wal.has_voted(round_number):
+            # Amnesia safety, belt-and-braces: the WAL is authoritative
+            # about past votes even if volatile r_vote lags it.
+            return
         parent = self.store.maybe_get(block.parent_id)
         if parent is None:
             return
@@ -381,6 +418,9 @@ class DiemBFTReplica(BaseReplica):
             )
         self._last_vote = vote
         self._after_vote(block)
+        if self.wal is not None:
+            # fsync the vote before it leaves the replica
+            self.wal.record_vote(round_number, block.id(), vote)
         next_leader = self.config.leader_of(round_number + 1)
         self.context.send(next_leader, VoteMsg(sender=self.replica_id, vote=vote))
 
@@ -495,12 +535,16 @@ class DiemBFTReplica(BaseReplica):
     def _process_qc(self, qc: QuorumCertificate, now: float) -> None:
         if qc.round > self.qc_high.round:
             self.qc_high = qc
+            if self.wal is not None:
+                self.wal.record_qc_high(qc)
         certified = self.store.maybe_get(qc.block_id)
         if certified is not None:
             if certified.parent_id is not None:
                 parent = self.store.maybe_get(certified.parent_id)
                 if parent is not None and parent.round > self.r_lock:
                     self.r_lock = parent.round
+                    if self.wal is not None:
+                        self.wal.record_lock(parent.round)
             if qc.block_id not in self._qcs_processed:
                 self._qcs_processed.add(qc.block_id)
                 self.store.record_qc(qc)

@@ -101,6 +101,12 @@ class Pacemaker:
         """Whether this replica stopped voting in ``round_number``."""
         return round_number in self._timed_out_rounds
 
+    def restore_timed_out(self, rounds) -> None:
+        """Crash-recovery seam: reload the WAL's timed-out rounds so a
+        reborn replica keeps refusing to vote in rounds it already
+        declared dead before the crash."""
+        self._timed_out_rounds.update(rounds)
+
     # ------------------------------------------------------------------
     # timeouts
     # ------------------------------------------------------------------

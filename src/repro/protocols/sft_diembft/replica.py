@@ -90,6 +90,19 @@ class SFTDiemBFTReplica(DiemBFTReplica):
 
     def _after_vote(self, block: Block) -> None:
         self.voting_history.record_vote(block)
+        if self.wal is not None:
+            # fsync the voted-tip set alongside the vote itself: the
+            # marker computation after a restart depends on it.
+            self.wal.record_tips(
+                self.voting_history.tip_keys(),
+                self.voting_history.highest_voted_round,
+            )
+
+    def restore_from_wal(self, state) -> None:
+        super().restore_from_wal(state)
+        self.voting_history.restore(
+            state.voted_tips, state.highest_voted_round
+        )
 
     def _on_truncated(self, pruned) -> None:
         super()._on_truncated(pruned)

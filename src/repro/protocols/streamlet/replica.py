@@ -61,6 +61,12 @@ class StreamletReplica(BaseReplica):
         self._pending_qcs: dict[BlockId, QuorumCertificate] = {}
         self._orphan_proposals: dict[BlockId, ProposalMsg] = {}
         self._seen_message_keys: set = set()
+        # WAL highest certified QC stashed by restore_from_wal; fed
+        # through _process_qc by rejoin_after_restart().
+        self._wal_qc_high = None
+        # Pre-crash longest certified chain height (0 = fresh boot):
+        # the voting floor enforced by _maybe_vote after a restart.
+        self._wal_certified_floor = 0
         # Statistics: registry-backed counters; the property shims below
         # keep the legacy attribute API (+= sites, test assertions).
         self._c_blocks_proposed = self.metrics.counter("blocks_proposed")
@@ -131,7 +137,48 @@ class StreamletReplica(BaseReplica):
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        self._enter_round(1)
+        now = self.context.now
+        if now <= 0.0:
+            self._enter_round(1)
+            return
+        # Crash-recovery restart: the cluster-wide lock-step clock kept
+        # ticking while this replica was down, so rejoin at the *next*
+        # round boundary rather than restarting from round 1.  Until
+        # then current_round stays 0, which refuses every vote.
+        period = self.config.round_duration
+        boundary = int(now / period) + 1
+        self.context.set_timer(
+            boundary * period - now, self._enter_round, boundary + 1
+        )
+
+    def restore_from_wal(self, state) -> None:
+        """Reload the durable voting record after a restart.
+
+        The restored ``_voted_rounds`` set is the amnesia-safety core:
+        Streamlet's one-vote-per-round guard consults it directly, so
+        the reborn replica refuses every round its pre-crash
+        incarnation already voted in.
+        """
+        super().restore_from_wal(state)
+        self._voted_rounds |= state.voted_rounds()
+        if state.qc_high is not None:
+            self._wal_qc_high = state.qc_high
+        # The lock analog: Streamlet's longest-chain voting rule is
+        # only safe across a restart if the reborn replica remembers
+        # how long the longest certified chain already was.  Its fresh
+        # store knows only genesis; without this floor it would help
+        # certify a second chain from scratch — no round is ever voted
+        # twice, yet conflicting heights commit (the property fuzzer
+        # found exactly that with three simultaneous restarts).
+        self._wal_certified_floor = state.certified_height
+
+    def rejoin_after_restart(self) -> None:
+        """Kick off catch-up from the WAL's highest certified QC: its
+        block is unknown to the fresh store, so ``_process_qc`` routes
+        it to the block-sync / snapshot rejoin path."""
+        qc, self._wal_qc_high = self._wal_qc_high, None
+        if qc is not None:
+            self._process_qc(qc, self.context.now)
 
     def _default_payload(self, now: float) -> Payload:
         return Payload(
@@ -322,6 +369,10 @@ class StreamletReplica(BaseReplica):
             return
         if round_number in self._voted_rounds:
             return
+        if self.wal is not None and self.wal.has_voted(round_number):
+            # Amnesia safety, belt-and-braces: the WAL is authoritative
+            # about past votes even if the volatile set lags it.
+            return
         parent = self.store.maybe_get(block.parent_id)
         if parent is None:
             return
@@ -330,6 +381,12 @@ class StreamletReplica(BaseReplica):
         if not self.store.is_certified(parent.id()):
             return
         if parent.height != self.store.certified_chain_height():
+            return
+        if parent.height < self._wal_certified_floor:
+            # Restart safety: the pre-crash incarnation had certified
+            # a chain this tall.  Until catch-up restores the store to
+            # at least that height, voting for a shorter extension
+            # could certify a conflicting branch from scratch.
             return
         vote = self._make_vote(block)
         self._voted_rounds.add(round_number)
@@ -340,6 +397,9 @@ class StreamletReplica(BaseReplica):
                 height=block.height, block=block.id().short(),
             )
         self._after_vote(block)
+        if self.wal is not None:
+            # fsync the vote before it leaves the replica
+            self.wal.record_vote(round_number, block.id(), vote)
         vote_msg = VoteMsg(sender=self.replica_id, vote=vote)
         if self.config.linear_votes:
             # Linear collection: one point-to-point vote to the next
@@ -431,6 +491,15 @@ class StreamletReplica(BaseReplica):
             if qc.block_id not in self._qcs_processed:
                 self._qcs_processed.add(qc.block_id)
                 self.store.record_qc(qc)
+                if self.wal is not None:
+                    # Streamlet has no qc_high; persist the highest
+                    # certified QC as the restart catch-up anchor, and
+                    # the longest certified chain height as the voting
+                    # floor a reborn instance must respect.
+                    self.wal.record_qc_high(qc)
+                    self.wal.record_certified_height(
+                        self.store.certified_chain_height()
+                    )
                 tracer = self.tracer
                 if tracer is None:
                     self._on_new_certification(qc, now)

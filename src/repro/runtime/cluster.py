@@ -48,6 +48,12 @@ class Cluster:
         self.byzantine_ids: frozenset = frozenset()
         self.workload = None  # KVWorkload when workload_rate > 0
         self.trace = None  # shared TraceLog when trace_level != "off"
+        # Crash-recovery: the simulated stable storage (DurableDisk)
+        # when the config carries a recovery schedule, else None (the
+        # default — zero WAL work, byte-identical replay).
+        self.durable = None
+        self.restarts = 0
+        self.amnesia_restarts = 0
         self._built = False
 
     # ------------------------------------------------------------------
@@ -68,11 +74,20 @@ class Cluster:
             from repro.obs import TraceLog
 
             self.trace = TraceLog()
+        if getattr(self.config, "recovery_schedule", ()):
+            from repro.types.wal import DurableDisk
+
+            self.durable = DurableDisk()
         default_class = _PROTOCOL_CLASSES[self.config.protocol]
         for replica_id in range(self.config.n):
             context = ReplicaContext(
                 replica_id, self.network, self.simulator, self.registry,
                 trace=self.trace,
+                durable=(
+                    self.durable.state_for(replica_id)
+                    if self.durable is not None
+                    else None
+                ),
             )
             replica_class = overrides.get(replica_id, default_class)
             replica = replica_class(self.config.replica_config(replica_id), context)
@@ -109,8 +124,73 @@ class Cluster:
             self.simulator.schedule_at(
                 crash_time, self.replicas[replica_id].crash
             )
+        for entry in getattr(self.config, "recovery_schedule", ()):
+            replica_id, crash_time, restart_time = entry
+            # Indirection through self.replicas: restart replaces the
+            # instance, so later events must not capture it eagerly.
+            self.simulator.schedule_at(
+                crash_time, self._crash_current, replica_id
+            )
+            self.simulator.schedule_at(
+                restart_time, self.restart_replica, replica_id
+            )
         self.simulator.run_until(horizon)
         return self
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def _crash_current(self, replica_id: int) -> None:
+        self.replicas[replica_id].crash()
+
+    def restart_replica(self, replica_id: int):
+        """Rebuild a crashed replica in place and rejoin it.
+
+        The replacement instance starts from *empty volatile state* —
+        fresh block store, fresh vote buckets, fresh pacemaker — and
+        recovers exactly what the WAL holds (unless the replica class
+        opts out via ``wal_restore = False``: the scripted amnesia
+        differential).  It then rejoins through the ordinary block-sync
+        / snapshot path rather than by replaying history.
+        """
+        if self.durable is None:
+            raise RuntimeError(
+                "restart_replica needs a recovery schedule (durable disk)"
+            )
+        replica_class = self.replica_overrides.get(
+            replica_id, _PROTOCOL_CLASSES[self.config.protocol]
+        )
+        restores = getattr(replica_class, "wal_restore", True)
+        context = ReplicaContext(
+            replica_id, self.network, self.simulator, self.registry,
+            trace=self.trace,
+            # An amnesiac lost the disk: its rebirth neither reads nor
+            # writes the WAL, so it behaves exactly like a pre-WAL node.
+            durable=(
+                self.durable.state_for(replica_id) if restores else None
+            ),
+        )
+        replica = replica_class(
+            self.config.replica_config(replica_id), context
+        )
+        self.replicas[replica_id] = replica
+        self.network.register(replica_id, replica)
+        if restores:
+            state = self.durable.peek(replica_id)
+            if state is not None:
+                replica.restore_from_wal(state)
+            self.restarts += 1
+        else:
+            self.amnesia_restarts += 1
+        if replica.tracer is not None:
+            replica.tracer.emit(
+                self.simulator.now, "restart",
+                detail="wal" if restores else "amnesia",
+            )
+        replica.start()
+        replica.rejoin_after_restart()
+        return replica
 
     def run_more(self, extra: float) -> "Cluster":
         """Continue a finished run for ``extra`` simulated seconds."""

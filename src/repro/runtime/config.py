@@ -61,6 +61,11 @@ class ExperimentConfig:
     processing_delay: float = 0.0
     gst: float = 0.0
     pre_gst_delay: float = 0.0
+    # At-least-once delivery faults (default off, byte-identical when
+    # off): per-unicast duplication probability and the extra-delay
+    # window that lets messages overtake each other.
+    duplicate_rate: float = 0.0
+    reorder_window: float = 0.0
     # Protocol knobs.
     round_timeout: float = 1.0
     timeout_multiplier: float = 1.5
@@ -102,6 +107,9 @@ class ExperimentConfig:
     seed: int = 1
     observers: object = "all"
     crash_schedule: tuple = ()  # (replica_id, time) pairs
+    # (replica_id, crash_time, restart_time) triples; non-empty turns
+    # on the durable WAL disk and the restart machinery.
+    recovery_schedule: tuple = ()
     partition_schedule: tuple = ()  # (groups, start, end) entries
 
     def resolved_f(self) -> int:
@@ -154,6 +162,8 @@ class ExperimentConfig:
             pre_gst_delay=self.pre_gst_delay,
             bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
             processing_delay=self.processing_delay,
+            duplicate_rate=self.duplicate_rate,
+            reorder_window=self.reorder_window,
         )
 
     def observer_ids(self) -> tuple:

@@ -16,6 +16,7 @@ from repro.types.messages import (
 from repro.types.quorum_cert import QuorumCertificate, TimeoutCertificate
 from repro.types.transaction import Transaction, TxBatch
 from repro.types.vote import StrongVote, Vote
+from repro.types.wal import DurableDisk, DurableState
 
 __all__ = [
     "Block",
@@ -34,4 +35,6 @@ __all__ = [
     "TxBatch",
     "Vote",
     "StrongVote",
+    "DurableDisk",
+    "DurableState",
 ]

@@ -191,6 +191,10 @@ class BlockStore:
     def maybe_get(self, block_id: BlockId) -> Block | None:
         return self._blocks.get(block_id)
 
+    def all_qcs(self):
+        """Every recorded certificate (invariant-oracle scans)."""
+        return self._qcs.values()
+
     def qc_for(self, block_id: BlockId) -> QuorumCertificate | None:
         """The QC certifying ``block_id``, if known."""
         return self._qcs.get(block_id)

@@ -227,12 +227,26 @@ class TestTraceCLI:
         assert excinfo.value.code == 2
 
     def test_fuzz_replay_writes_flight_dump(self, tmp_path):
+        # An amnesia schedule (three replicas restarting from blank
+        # disks) deliberately violates safety — the replay must exit
+        # non-zero and dump every replica's flight-recorder ring.
+        # (This used to replay lazy_quorum_stall, but that entry's
+        # violation was an oracle applicability gap, since fixed.)
+        from repro.experiments import FaultMix, ScenarioSpec, save_scenario
+
+        spec = ScenarioSpec(
+            name="amnesia_dump", protocol="diembft", n=4, duration=8.0,
+            seeds=(11,),
+            faults=FaultMix(amnesia=3, recover_at=2.5, downtime=1.0),
+        )
+        spec_path = tmp_path / "amnesia_dump.json"
+        save_scenario(spec, spec_path)
         dump_path = tmp_path / "flight.json"
         code, _, err = self._run_cli(
-            ["fuzz", "replay", "scenarios/fuzz_corpus/lazy_quorum_stall.json",
+            ["fuzz", "replay", str(spec_path),
              "--flight-out", str(dump_path)]
         )
-        assert code == 1  # the replay violates post-gst-liveness
+        assert code == 1  # the replay violates double-vote/prefix
         assert dump_path.exists(), err
         recording = json.loads(dump_path.read_text())
         assert recording["violations"]

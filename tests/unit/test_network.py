@@ -315,3 +315,87 @@ class TestWireSizeDispatch:
         assert stats["by_type"] == {"str": 2}
         network.reset_counters()
         assert network.stats()["by_type"] == {}
+
+
+class TestAtLeastOnceDelivery:
+    def test_duplicate_rate_one_delivers_every_unicast_twice(self):
+        simulator, network, recorders = make_network(duplicate_rate=1.0)
+        for _ in range(5):
+            network.send(0, 1, "m")
+        simulator.run_until(1.0)
+        assert len(recorders[1].received) == 10
+        assert network.messages_duplicated == 5
+        assert network.stats()["duplicated"] == 5
+        # The original copy still counts once in sent.
+        assert network.stats()["sent"] == 5
+
+    def test_reorder_window_can_swap_consecutive_sends(self):
+        simulator, network, recorders = make_network(
+            delay=0.001, reorder_window=0.1
+        )
+        for index in range(40):
+            network.send(0, 1, index)
+        simulator.run_until(1.0)
+        order = [message for _, _, message in recorders[1].received]
+        assert sorted(order) == list(range(40))  # reliable: nothing lost
+        assert order != list(range(40))  # ...but not in send order
+
+    def test_reorder_delay_bounded_by_window(self):
+        simulator, network, recorders = make_network(
+            delay=0.01, reorder_window=0.05
+        )
+        for _ in range(30):
+            network.send(0, 1, "m")
+        simulator.run_until(1.0)
+        for arrival, _, _ in recorders[1].received:
+            assert 0.01 <= arrival < 0.01 + 0.05
+
+    def test_default_off_keeps_schedule_and_stats_shape(self):
+        # Turning the knobs off must leave the delivery schedule and
+        # the stats schema exactly as before the faults existed.
+        simulator, network, recorders = make_network(jitter=0.002)
+        for index in range(10):
+            network.send(0, 1, index)
+        simulator.run_until(1.0)
+        baseline = [(time, message) for time, _, message in recorders[1].received]
+        assert "duplicated" not in network.stats()
+
+        simulator2, network2, recorders2 = make_network(
+            jitter=0.002, duplicate_rate=0.0, reorder_window=0.0
+        )
+        for index in range(10):
+            network2.send(0, 1, index)
+        simulator2.run_until(1.0)
+        replay = [(time, message) for time, _, message in recorders2[1].received]
+        assert replay == baseline
+
+    def test_delivery_faults_draw_from_their_own_stream(self):
+        # Same seed, faults on: the *base* arrival pattern (jitter
+        # stream) is untouched; only extra delay/duplicates appear.
+        simulator, network, recorders = make_network(jitter=0.002)
+        network.send(0, 1, "m")
+        simulator.run_until(1.0)
+        base_arrival = recorders[1].received[0][0]
+
+        simulator2, network2, recorders2 = make_network(
+            jitter=0.002, reorder_window=0.05
+        )
+        network2.send(0, 1, "m")
+        simulator2.run_until(1.0)
+        faulted_arrival = recorders2[1].received[0][0]
+        assert base_arrival <= faulted_arrival < base_arrival + 0.05
+
+    def test_duplicates_are_deterministic_across_replays(self):
+        def run():
+            simulator, network, recorders = make_network(
+                duplicate_rate=0.4, reorder_window=0.03, seed=7
+            )
+            for index in range(25):
+                network.send(0, 1, index)
+            simulator.run_until(1.0)
+            return [
+                (round(time, 9), message)
+                for time, _, message in recorders[1].received
+            ]
+
+        assert run() == run()
