@@ -16,6 +16,8 @@ Examples::
     python -m repro bench compare BENCH_local.json BENCH_baseline.json
     python -m repro trace summarize scenarios/fuzz_corpus/some_case.json
     python -m repro trace export scenario.json --out trace.json
+    python -m repro rt run scenarios/rt_smoke.toml --clients 4
+    python -m repro rt diff scenarios/rt_smoke.toml
 """
 
 from __future__ import annotations
@@ -572,6 +574,92 @@ def command_bench_compare(args) -> int:
     return exit_code
 
 
+def _print_rt_summary(summary: dict) -> None:
+    import json
+
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+
+def command_rt_run(args) -> int:
+    from repro.rt_net.manager import RuntimeLaunchError, RuntimeManager
+
+    spec = _load_fuzz_spec(args.spec)
+    duration = args.duration if args.duration is not None else spec.duration
+    try:
+        manager = RuntimeManager(
+            spec, seed=args.seed, workdir=args.workdir
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"rt run {spec.name}: n={spec.n} protocol={spec.protocol} "
+        f"duration={duration}s clients={args.clients}",
+        file=sys.stderr,
+    )
+    try:
+        if args.clients > 0:
+            import time as _time
+
+            from repro.rt_net.clients import drive_fleet
+
+            experiment = spec.to_experiment_config(manager.seed)
+            manager.start()
+            manager.wait_ready()
+            fleet = drive_fleet(
+                manager.endpoints(),
+                experiment.resolved_f(),
+                duration,
+                num_clients=args.clients,
+                seed=manager.seed,
+            )
+            _time.sleep(0.5)  # let trailing replies drain into results
+            report = manager.stop()
+            print("client fleet:", file=sys.stderr)
+            _print_rt_summary(fleet)
+        else:
+            report = manager.run(duration)
+    except RuntimeLaunchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        manager.cleanup()
+    _print_rt_summary(report.summary())
+    if report.min_commits() < 1:
+        print("FAIL: some replica committed nothing", file=sys.stderr)
+        return 1
+    if not report.chains_agree():
+        print("FAIL: replicas disagree on the committed prefix",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def command_rt_diff(args) -> int:
+    from repro.rt_net.differential import run_differential
+    from repro.rt_net.manager import RuntimeLaunchError
+
+    spec = _load_fuzz_spec(args.spec)
+    print(f"rt diff {spec.name}: simulator oracle vs TCP cluster…",
+          file=sys.stderr)
+    try:
+        result = run_differential(
+            spec,
+            seed=args.seed,
+            tcp_duration=args.duration,
+            workdir=args.workdir,
+        )
+    except (ValueError, RuntimeLaunchError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _print_rt_summary(result.summary())
+    if not result.ok():
+        for problem in result.problems():
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_traced_cluster(args):
     """Run one scenario with tracing forced on; returns (spec, cluster)."""
     spec = _load_fuzz_spec(args.spec)
@@ -772,6 +860,38 @@ def build_parser() -> argparse.ArgumentParser:
                                     "one report (renames/drops escape the "
                                     "gate otherwise)")
     bench_compare.set_defaults(handler=command_bench_compare)
+
+    rt_parser = subparsers.add_parser(
+        "rt", help="real-network runtime (multi-process asyncio TCP)"
+    )
+    rt_sub = rt_parser.add_subparsers(dest="rt_command", required=True)
+
+    def _add_rt_arguments(sub) -> None:
+        sub.add_argument("spec", help="scenario TOML/JSON file")
+        sub.add_argument("--seed", type=int, default=None,
+                         help="override the spec's first seed")
+        sub.add_argument("--duration", type=float, default=None,
+                         help="wall seconds to run (default: spec duration)")
+        sub.add_argument("--workdir", default=None,
+                         help="keep configs/logs/results here instead of "
+                              "a temporary directory")
+
+    rt_run = rt_sub.add_parser(
+        "run", help="spawn a TCP replica cluster and run a workload"
+    )
+    _add_rt_arguments(rt_run)
+    rt_run.add_argument("--clients", type=int, default=0,
+                        help="drive this many closed-loop clients "
+                             "(f+1-matching-reply acknowledgement)")
+    rt_run.set_defaults(handler=command_rt_run)
+
+    rt_diff = rt_sub.add_parser(
+        "diff",
+        help="run the same spec under the simulator and over TCP and "
+             "require identical committed chains",
+    )
+    _add_rt_arguments(rt_diff)
+    rt_diff.set_defaults(handler=command_rt_diff)
 
     trace_parser = subparsers.add_parser(
         "trace", help="causal block-lifecycle tracing (Perfetto export)"

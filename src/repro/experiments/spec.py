@@ -296,6 +296,13 @@ class ScenarioSpec:
     # Run control.
     duration: float = 10.0
     seeds: tuple = (1,)
+    # Which replicas track endorsements (Section 5): "all", an int
+    # stride, or an explicit id list — ``[]`` disables the observer
+    # role everywhere.  Observer leaders embed strong-commit events
+    # into block.commit_log, which is hashed into the block id and
+    # depends on *when* strong QCs accrued; scenarios meant to commit
+    # identical chains across transport tiers (``repro rt diff``) must
+    # therefore set ``observers = []``.
     observers: object = "all"
     # Fault injection.
     faults: FaultMix = field(default_factory=FaultMix)

@@ -10,6 +10,7 @@ semantics, jitter, bandwidth serialization and partitions
 
 from repro.net.simulator import Simulator, TimerHandle
 from repro.net.network import Network, NetworkConfig, wire_size_bytes
+from repro.net.sim import SimClock, SimTransport
 from repro.net.topology import (
     AsymmetricTopology,
     RegionTopology,
@@ -24,6 +25,8 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "wire_size_bytes",
+    "SimTransport",
+    "SimClock",
     "Topology",
     "UniformTopology",
     "RegionTopology",

@@ -1,20 +1,38 @@
 """The chain-based BFT SMR prototype (Figure 1) and replica plumbing.
 
-Every protocol replica is an event-driven state machine: the network
-calls :meth:`BaseReplica.deliver` and the simulator fires timers via
+Every protocol replica is an event-driven state machine: some transport
+calls :meth:`BaseReplica.deliver` and some clock fires timers via
 :meth:`BaseReplica.on_timer`.  Concrete protocols fill in the
 protocol-specific rules — proposing, voting, locking, committing, and
 round synchronization — exactly the holes the paper's prototype leaves
 open.
+
+Replicas are deliberately transport-agnostic.  All interaction with the
+outside world goes through :class:`ReplicaContext`, which is assembled
+from two narrow structural interfaces:
+
+* :class:`Transport` — message egress (``send`` / ``multicast``) plus
+  endpoint detachment for crash faults;
+* :class:`Clock` — the time source (``now``) and timer scheduling
+  (``set_timer`` / ``cancel_timer``).
+
+The deterministic simulator provides one implementation pair
+(:class:`repro.net.sim.SimTransport` / :class:`repro.net.sim.SimClock`)
+and the real-network runtime another
+(:class:`repro.rt_net.transport.TcpTransport` /
+:class:`repro.rt_net.transport.WallClock`), so the identical protocol
+code runs under exhaustive simulation or real asyncio TCP sockets.
+Protocol code must only ever call ``ctx.send`` / ``ctx.multicast`` /
+``ctx.set_timer`` / ``ctx.cancel_timer`` / ``ctx.now`` (plus the key
+material accessors) — never reach into a concrete transport.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.crypto.registry import KeyRegistry
-from repro.net.network import Network
-from repro.net.simulator import Simulator, TimerHandle
 from repro.types.messages import (
     CheckpointMsg,
     SnapshotRequestMsg,
@@ -22,6 +40,43 @@ from repro.types.messages import (
     SyncRequestMsg,
     SyncResponseMsg,
 )
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Message egress as seen by a replica.
+
+    Implementations route by replica id.  ``send`` and ``multicast``
+    are fire-and-forget: delivery latency, ordering, and loss semantics
+    belong to the implementation (the simulated network models partial
+    synchrony; the TCP transport gives per-connection FIFO delivery).
+    """
+
+    def send(self, src: int, dst: int, message) -> None: ...
+
+    def multicast(self, src: int, message, include_self: bool = False) -> None: ...
+
+    def unregister(self, replica_id: int) -> None: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time source and timer scheduling as seen by a replica.
+
+    ``now`` is seconds as a float; the epoch is implementation-defined
+    (simulated time starts at 0, the wall clock at process start), so
+    protocol code must only ever compare or subtract timestamps.
+    ``set_timer`` returns an opaque handle accepted by
+    ``cancel_timer``; cancelling an already-fired or already-cancelled
+    timer is a no-op.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def set_timer(self, delay: float, callback, *args): ...
+
+    def cancel_timer(self, handle) -> None: ...
 
 
 def round_robin_leader(round_number: int, n: int) -> int:
@@ -134,22 +189,27 @@ class ReplicaConfig:
 class ReplicaContext:
     """Everything a replica may do to the outside world.
 
-    Wraps the network and simulator so protocol code never touches
-    global state; this is also the seam fault-injection tests use.
+    Binds one replica id to a :class:`Transport` and a :class:`Clock`
+    (plus the key registry and optional trace/WAL attachments), so
+    protocol code never touches global state or a concrete transport
+    implementation; this is also the seam fault-injection tests use.
+    The full replica-facing surface is ``send`` / ``multicast`` /
+    ``set_timer`` / ``cancel_timer`` / ``now`` / ``detach`` and the
+    key material (``registry`` / ``signing_key``).
     """
 
     def __init__(
         self,
         replica_id: int,
-        network: Network,
-        simulator: Simulator,
+        transport: Transport,
+        clock: Clock,
         registry: KeyRegistry,
         trace=None,
         durable=None,
     ) -> None:
         self.replica_id = replica_id
-        self.network = network
-        self.simulator = simulator
+        self.transport = transport
+        self.clock = clock
         self.registry = registry
         self.signing_key = registry.signing_key(replica_id)
         #: Cluster-wide span log (repro.obs.TraceLog) when tracing is
@@ -162,16 +222,28 @@ class ReplicaContext:
 
     @property
     def now(self) -> float:
-        return self.simulator.now
+        return self.clock.now
 
     def send(self, dst: int, message) -> None:
-        self.network.send(self.replica_id, dst, message)
+        """Queue ``message`` for delivery to replica ``dst``."""
+        self.transport.send(self.replica_id, dst, message)
 
     def multicast(self, message, include_self: bool = True) -> None:
-        self.network.multicast(self.replica_id, message, include_self=include_self)
+        """Queue ``message`` for delivery to every replica."""
+        self.transport.multicast(self.replica_id, message, include_self=include_self)
 
-    def set_timer(self, delay: float, callback, *args) -> TimerHandle:
-        return self.simulator.schedule_in(delay, callback, *args)
+    def set_timer(self, delay: float, callback, *args):
+        """Run ``callback(*args)`` after ``delay`` seconds; returns a handle."""
+        return self.clock.set_timer(delay, callback, *args)
+
+    def cancel_timer(self, handle) -> None:
+        """Cancel a pending timer from :meth:`set_timer` (no-op when fired)."""
+        if handle is not None:
+            self.clock.cancel_timer(handle)
+
+    def detach(self) -> None:
+        """Remove this replica's transport endpoint (crash faults)."""
+        self.transport.unregister(self.replica_id)
 
 
 class BaseReplica:
@@ -238,7 +310,7 @@ class BaseReplica:
     def crash(self) -> None:
         """Benign (crash) fault: the replica stops entirely."""
         self.crashed = True
-        self.context.network.unregister(self.replica_id)
+        self.context.detach()
 
     def restore_from_wal(self, state) -> None:
         """Reload safety-critical voting state after a restart.

@@ -72,8 +72,7 @@ class Pacemaker:
     def _enter_round(self, round_number: int, reason: str) -> None:
         self.current_round = round_number
         self.round_entered_at = self.context.now
-        if self._timer is not None:
-            self._timer.cancel()
+        self.context.cancel_timer(self._timer)
         self._timer = self.context.set_timer(
             self.current_timeout(), self._timer_fired, round_number
         )

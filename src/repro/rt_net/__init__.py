@@ -1,0 +1,40 @@
+"""Real-network runtime: replicas as OS processes over asyncio TCP.
+
+The second transport tier behind the :class:`repro.protocols.base.Transport`
+/ :class:`~repro.protocols.base.Clock` seam.  The identical protocol
+code that runs under the deterministic simulator runs here as
+independent processes speaking length-prefixed JSON frames over TCP,
+driven by wall-clock timers and a concurrent client fleet:
+
+* :mod:`repro.rt_net.codec` — canonical wire encoding of the signed
+  message types (signatures survive the round trip byte-for-byte);
+* :mod:`repro.rt_net.transport` — :class:`TcpTransport` (per-replica
+  asyncio server + retry-connecting per-peer senders) and
+  :class:`WallClock`;
+* :mod:`repro.rt_net.replica_proc` — the per-replica process entry
+  point (``python -m repro.rt_net.replica_proc``);
+* :mod:`repro.rt_net.manager` — :class:`RuntimeManager` spawns/kills
+  replica processes and collects their result snapshots;
+* :mod:`repro.rt_net.clients` — concurrent logical clients with
+  f+1-matching-reply acknowledgement;
+* :mod:`repro.rt_net.differential` — runs one ``ScenarioSpec`` under
+  both tiers and pins that the committed chains agree (the simulator
+  stays the oracle for this transport).
+"""
+
+from repro.rt_net.codec import (
+    FrameDecoder,
+    decode_message,
+    encode_message,
+    frame,
+)
+from repro.rt_net.transport import TcpTransport, WallClock
+
+__all__ = [
+    "FrameDecoder",
+    "decode_message",
+    "encode_message",
+    "frame",
+    "TcpTransport",
+    "WallClock",
+]

@@ -1,0 +1,129 @@
+"""Differential harness: one ScenarioSpec, both transport tiers.
+
+The deterministic simulator is the correctness oracle for the TCP
+runtime.  This harness executes the same :class:`ScenarioSpec` — same
+protocol class, same replica configs, same deterministic keys — under
+:class:`~repro.net.sim.SimTransport` (in-process, simulated time) and
+:class:`~repro.rt_net.transport.TcpTransport` (OS processes, wall
+time), then compares committed chains.
+
+Block ids are content hashes over (parent, qc, round, height, proposer,
+payload digest, commit log) — *not* over creation timestamps — and the
+default synthetic payload digests only ``(count, size_bytes, tag)``.
+A happy-path run therefore commits literally identical block ids on
+both tiers: round ``r``'s block is the same hash whether it was
+proposed inside the simulator or over real sockets.  The tiers run for
+different effective lengths (simulated seconds vs wall seconds), so
+agreement is judged on the common prefix, which must be non-empty.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.spec import ScenarioSpec
+from repro.rt_net.manager import RuntimeManager
+
+
+def sim_chain(spec: ScenarioSpec, seed: int | None = None) -> list[str]:
+    """Committed block-id sequence (hex) of one simulator-tier run."""
+    cluster = spec.build(seed).run()
+    chains = [
+        [event.block_id.hex() for event in replica.commit_tracker.commit_order]
+        for replica in cluster.honest_replicas()
+    ]
+    if not chains:
+        return []
+    # All honest sim replicas agree on the committed prefix (that is
+    # the protocol's safety property); return the longest log so the
+    # TCP side has the most prefix to match against.
+    return max(chains, key=len)
+
+
+def common_prefix_len(a: list[str], b: list[str]) -> int:
+    length = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        length += 1
+    return length
+
+
+class DifferentialResult:
+    """Verdict of one sim-vs-TCP differential run."""
+
+    def __init__(self, spec: ScenarioSpec, seed: int, sim: list[str],
+                 report) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.sim = sim
+        self.report = report
+        self.tcp_chains = report.chains()
+
+    def tcp_reference(self) -> list[str]:
+        chains = list(self.tcp_chains.values())
+        return max(chains, key=len) if chains else []
+
+    def ok(self) -> bool:
+        return not self.problems()
+
+    def problems(self) -> list[str]:
+        problems = []
+        if len(self.tcp_chains) < self.spec.n:
+            missing = sorted(
+                set(range(self.spec.n)) - set(self.tcp_chains)
+            )
+            problems.append(f"replicas {missing} reported no results")
+        empty = [rid for rid, chain in self.tcp_chains.items() if not chain]
+        if empty:
+            problems.append(f"replicas {empty} committed nothing")
+        if not self.report.chains_agree():
+            problems.append("TCP replicas disagree on the committed prefix")
+        if not self.sim:
+            problems.append("simulator tier committed nothing")
+        reference = self.tcp_reference()
+        if self.sim and reference:
+            agreed = common_prefix_len(self.sim, reference)
+            if agreed == 0:
+                problems.append(
+                    "sim and TCP chains share no prefix: "
+                    f"sim[0]={self.sim[0][:10]} tcp[0]={reference[0][:10]}"
+                )
+            elif agreed < min(len(self.sim), len(reference)):
+                problems.append(
+                    f"sim and TCP chains diverge at block {agreed}: "
+                    f"sim={self.sim[agreed][:10]} "
+                    f"tcp={reference[agreed][:10]}"
+                )
+        return problems
+
+    def summary(self) -> dict:
+        reference = self.tcp_reference()
+        return {
+            "scenario": self.spec.name,
+            "protocol": self.spec.protocol,
+            "seed": self.seed,
+            "sim_commits": len(self.sim),
+            "tcp_commits": {
+                rid: len(chain)
+                for rid, chain in sorted(self.tcp_chains.items())
+            },
+            "common_prefix": common_prefix_len(self.sim, reference),
+            "ok": self.ok(),
+            "problems": self.problems(),
+        }
+
+
+def run_differential(
+    spec: ScenarioSpec,
+    seed: int | None = None,
+    tcp_duration: float | None = None,
+    workdir=None,
+) -> DifferentialResult:
+    """Run ``spec`` under both tiers and compare committed chains."""
+    resolved_seed = spec.seeds[0] if seed is None else seed
+    sim = sim_chain(spec, resolved_seed)
+    manager = RuntimeManager(spec, seed=resolved_seed, workdir=workdir)
+    try:
+        report = manager.run(tcp_duration)
+    finally:
+        manager.cleanup()
+    return DifferentialResult(spec, resolved_seed, sim, report)

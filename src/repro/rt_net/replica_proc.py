@@ -1,0 +1,265 @@
+"""Per-replica OS process entry point for the real-network runtime.
+
+``python -m repro.rt_net.replica_proc <config.json> <replica_id>``
+builds exactly the replica the simulator tier would build for the same
+``ScenarioSpec`` and seed — same protocol class, same
+:class:`~repro.protocols.base.ReplicaConfig`, same deterministic
+:class:`~repro.crypto.registry.KeyRegistry` — but binds it to
+:class:`~repro.rt_net.transport.TcpTransport` and
+:class:`~repro.rt_net.transport.WallClock` instead of the simulator
+adapters.  The protocol code cannot tell the difference; that is the
+point of the Transport/Clock seam.
+
+The host around the replica does what the in-process harness does in
+the simulator tier:
+
+* submits client transactions (``ClientRequestMsg`` frames from the
+  client fleet) into a per-replica :class:`~repro.runtime.client.Mempool`
+  wired as the replica's ``payload_source``;
+* polls the commit log and answers each routed transaction's client
+  with a ``ClientReplyMsg`` (clients ack at f+1 matching replies);
+* on SIGTERM (the manager's stop signal) snapshots the committed chain
+  and metrics into a result JSON and exits cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+
+from repro.crypto.registry import KeyRegistry
+from repro.experiments.spec import spec_from_mapping
+from repro.protocols.base import ReplicaContext
+from repro.runtime.client import Mempool
+from repro.runtime.cluster import _PROTOCOL_CLASSES
+from repro.rt_net.transport import TcpTransport, WallClock
+from repro.types.messages import ClientReplyMsg, ClientRequestMsg
+
+#: Commit-log poll cadence for client replies (wall seconds).
+_FEEDBACK_INTERVAL = 0.05
+#: Self-destruct margin past the configured duration, in case the
+#: manager dies without sending SIGTERM.
+_ORPHAN_GRACE = 60.0
+
+
+class ReplicaHost:
+    """One replica plus its mempool/reply plumbing inside one process."""
+
+    def __init__(self, config: dict, replica_id: int) -> None:
+        self.replica_id = replica_id
+        self.spec = spec_from_mapping(config["spec"])
+        self.seed = int(config.get("seed", self.spec.seeds[0]))
+        self.epoch = float(config["epoch"])
+        self.host = config.get("host", "127.0.0.1")
+        self.ports = {int(k): int(v) for k, v in config["ports"].items()}
+        self.result_path = Path(config["result_path"])
+        self.duration = float(config.get("duration", self.spec.duration))
+        self.experiment = self.spec.to_experiment_config(self.seed)
+
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.clock = WallClock(self.loop, epoch=self.epoch)
+        peers = {rid: (self.host, port) for rid, port in self.ports.items()}
+        self.transport = TcpTransport(
+            replica_id,
+            peers,
+            on_message=self._on_peer_message,
+            on_client_message=self._on_client_message,
+            loop=self.loop,
+        )
+        registry = KeyRegistry(self.experiment.n)
+        context = ReplicaContext(replica_id, self.transport, self.clock, registry)
+        replica_class = _PROTOCOL_CLASSES[self.experiment.protocol]
+        self.replica = replica_class(
+            self.experiment.replica_config(replica_id), context
+        )
+
+        replica_config = self.replica.config
+        self.mempool = Mempool(
+            max_block_transactions=replica_config.batch_size,
+            max_block_bytes=replica_config.max_batch_bytes,
+            pipelined=replica_config.pipelined_proposals,
+            inflight_timeout=8.0 * replica_config.round_timeout,
+        )
+        #: The replica's built-in synthetic-batch source, kept as the
+        #: fallback so an idle mempool proposes exactly the payloads the
+        #: simulator tier proposes (same digest fields) — that is what
+        #: makes the sim-vs-TCP differential compare literal block ids.
+        self._default_payload = self.replica.payload_source
+        self.replica.payload_source = self._payload_source
+        #: txid -> client id, for routing commit acknowledgements.
+        self._routes: dict = {}
+        self._commit_cursor = 0
+        self.committed: list = []
+        self.replies_sent = 0
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+
+    def _on_peer_message(self, src: int, message) -> None:
+        self.replica.deliver(src, message)
+
+    def _on_client_message(self, client_id: int, message) -> None:
+        if not isinstance(message, ClientRequestMsg):
+            return
+        transaction = message.transaction
+        self.mempool.submit(transaction)
+        self._routes[transaction.txid()] = client_id
+
+    def _payload_source(self, now: float):
+        payload = self.mempool.make_payload(now)
+        if payload.transactions:
+            return payload
+        return self._default_payload(now)
+
+    # ------------------------------------------------------------------
+    # commit feedback
+    # ------------------------------------------------------------------
+
+    def _poll_commits(self) -> None:
+        replica = self.replica
+        commit_order = replica.commit_tracker.commit_order
+        cursor = self._commit_cursor
+        while cursor < len(commit_order):
+            event = commit_order[cursor]
+            cursor += 1
+            self.committed.append(
+                (event.height, event.round, event.block_id.hex())
+            )
+            block = replica.store.maybe_get(event.block_id)
+            if block is None or not block.payload.transactions:
+                continue
+            self.mempool.remove_committed(block.payload.transactions)
+            for transaction in block.payload.transactions:
+                txid = transaction.txid()
+                client_id = self._routes.pop(txid, None)
+                if client_id is None:
+                    continue
+                self.transport.send_to_client(
+                    client_id,
+                    ClientReplyMsg(
+                        sender=self.replica_id,
+                        txid=txid,
+                        block_id=event.block_id,
+                        height=event.height,
+                        round=event.round,
+                    ),
+                )
+                self.replies_sent += 1
+        self._commit_cursor = cursor
+        if not self._stopping:
+            self.loop.call_later(_FEEDBACK_INTERVAL, self._poll_commits)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def _wait_for_peers(self, timeout: float = 15.0) -> None:
+        """Block until every peer's server accepts connections.
+
+        Starting consensus only once the full cluster listens keeps the
+        wall-clock tier from burning its first round on a timeout the
+        simulator tier never sees (outbound queues would deliver the
+        proposal late, but the pacemaker timer would already be ticking).
+        """
+        deadline = self.loop.time() + timeout
+        for rid, port in self.ports.items():
+            if rid == self.replica_id:
+                continue
+            while True:
+                try:
+                    _, writer = await asyncio.open_connection(self.host, port)
+                    writer.close()
+                    break
+                except (ConnectionError, OSError):
+                    if self.loop.time() > deadline:
+                        raise TimeoutError(
+                            f"replica {rid} not listening on port {port}"
+                        )
+                    await asyncio.sleep(0.05)
+
+    def _write_result(self) -> None:
+        self._poll_commits_final()
+        result = {
+            "replica_id": self.replica_id,
+            "protocol": self.experiment.protocol,
+            "seed": self.seed,
+            "committed": self.committed,
+            "commits": len(self.committed),
+            "now": self.clock.now,
+            "frames_sent": self.transport.frames_sent,
+            "frames_received": self.transport.frames_received,
+            "send_errors": self.transport.send_errors,
+            "mempool_submitted": self.mempool.submitted,
+            "mempool_pending": self.mempool.pending_count(),
+            "replies_sent": self.replies_sent,
+            "metrics": self.replica.metrics.snapshot(),
+        }
+        tmp = self.result_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result, indent=2, sort_keys=True))
+        tmp.replace(self.result_path)
+
+    def _poll_commits_final(self) -> None:
+        """Drain any commits that landed since the last poll tick."""
+        self._stopping = True
+        self._poll_commits()
+
+    def _shutdown(self) -> None:
+        if self._stopping:
+            return
+        try:
+            self._write_result()
+        finally:
+            self.loop.stop()
+
+    async def _main(self) -> None:
+        await self.transport.start()
+        print(
+            f"[replica {self.replica_id}] listening on "
+            f"{self.host}:{self.ports[self.replica_id]}",
+            flush=True,
+        )
+        await self._wait_for_peers()
+        print(f"[replica {self.replica_id}] cluster up, starting", flush=True)
+        self.replica.start()
+        self.loop.call_later(_FEEDBACK_INTERVAL, self._poll_commits)
+        # Orphan backstop: if the manager never signals us, stop anyway.
+        self.loop.call_later(self.duration + _ORPHAN_GRACE, self._shutdown)
+
+    def run(self) -> None:
+        self.loop.add_signal_handler(signal.SIGTERM, self._shutdown)
+        self.loop.add_signal_handler(signal.SIGINT, self._shutdown)
+        self.loop.create_task(self._main())
+        try:
+            self.loop.run_forever()
+        finally:
+            self.loop.close()
+        print(
+            f"[replica {self.replica_id}] stopped with "
+            f"{len(self.committed)} commits",
+            flush=True,
+        )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.rt_net.replica_proc <config.json> "
+            "<replica_id>",
+            file=sys.stderr,
+        )
+        return 2
+    config = json.loads(Path(argv[0]).read_text())
+    host = ReplicaHost(config, int(argv[1]))
+    host.run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.net.sim import SimClock, SimTransport
 from repro.protocols.base import ReplicaContext
 from repro.protocols.diembft.replica import DiemBFTReplica
 from repro.protocols.fbft.replica import FBFTDiemBFTReplica
@@ -43,6 +44,10 @@ class Cluster:
         self.topology = topology
         self.network = network
         self.registry = registry
+        # The replica-facing seam: replicas only ever see these two
+        # adapters, never the Network/Simulator pair directly.
+        self.transport = SimTransport(network)
+        self.clock = SimClock(simulator)
         self.replicas: list = []
         self.replica_overrides = dict(replica_overrides or {})
         self.byzantine_ids: frozenset = frozenset()
@@ -81,7 +86,7 @@ class Cluster:
         default_class = _PROTOCOL_CLASSES[self.config.protocol]
         for replica_id in range(self.config.n):
             context = ReplicaContext(
-                replica_id, self.network, self.simulator, self.registry,
+                replica_id, self.transport, self.clock, self.registry,
                 trace=self.trace,
                 durable=(
                     self.durable.state_for(replica_id)
@@ -163,7 +168,7 @@ class Cluster:
         )
         restores = getattr(replica_class, "wal_restore", True)
         context = ReplicaContext(
-            replica_id, self.network, self.simulator, self.registry,
+            replica_id, self.transport, self.clock, self.registry,
             trace=self.trace,
             # An amnesiac lost the disk: its rebirth neither reads nor
             # writes the WAL, so it behaves exactly like a pre-WAL node.

@@ -658,10 +658,9 @@ class CheckpointManager:
                 msg.block.round,
             )
 
-    @staticmethod
-    def _cancel_timer(fetch: _SnapshotFetch) -> None:
+    def _cancel_timer(self, fetch: _SnapshotFetch) -> None:
         if fetch.timer is not None:
-            fetch.timer.cancel()
+            self.context.cancel_timer(fetch.timer)
             fetch.timer = None
 
     # ------------------------------------------------------------------

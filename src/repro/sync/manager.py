@@ -387,10 +387,9 @@ class SyncManager:
                 return False
         return True
 
-    @staticmethod
-    def _cancel_timer(fetch: _Fetch) -> None:
+    def _cancel_timer(self, fetch: _Fetch) -> None:
         if fetch.timer is not None:
-            fetch.timer.cancel()
+            self.context.cancel_timer(fetch.timer)
             fetch.timer = None
 
     # ------------------------------------------------------------------

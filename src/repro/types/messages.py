@@ -141,6 +141,24 @@ class ClientRequestMsg(Message):
 
 
 @dataclass(frozen=True, slots=True)
+class ClientReplyMsg(Message):
+    """A replica's acknowledgement that a client transaction committed.
+
+    Real-network clients collect these from the cluster and accept a
+    transaction once ``f + 1`` distinct replicas report the same
+    ``(txid, block_id)`` — at least one reporter is honest, so the
+    commit is final (the PBFT client reply rule).  ``sender`` is the
+    replying replica; the simulator tier reads commit logs directly and
+    never sends these.
+    """
+
+    txid: object = None  # HashDigest of the committed transaction
+    block_id: object = None  # BlockId of the committing block
+    height: int = 0
+    round: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class SyncRequestMsg(Message):
     """⟨sync-req, target, max, nonce⟩_i — ask a peer for missing blocks.
 
@@ -328,6 +346,7 @@ __all__ = [
     "ExtraVotesMsg",
     "EchoMsg",
     "ClientRequestMsg",
+    "ClientReplyMsg",
     "SyncRequestMsg",
     "SyncResponseMsg",
     "CheckpointMsg",

@@ -29,13 +29,14 @@ def make_isolated_replica(replica_class, config):
     """A replica wired to a throwaway single-node network."""
     from repro.crypto.registry import KeyRegistry
     from repro.net.network import Network, NetworkConfig
+    from repro.net.sim import SimClock, SimTransport
     from repro.net.simulator import Simulator
     from repro.net.topology import UniformTopology
 
     simulator = Simulator()
     network = Network(simulator, UniformTopology(config.n), NetworkConfig())
     registry = KeyRegistry(config.n)
-    context = ReplicaContext(0, network, simulator, registry)
+    context = ReplicaContext(0, SimTransport(network), SimClock(simulator), registry)
     replica = replica_class(config, context)
     network.register(0, replica)
     return replica, registry

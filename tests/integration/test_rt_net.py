@@ -1,0 +1,168 @@
+"""Real-network runtime: transport round-trips and the sim-vs-TCP oracle.
+
+The headline test runs one :class:`ScenarioSpec` under both tiers —
+the deterministic simulator and a real 4-process asyncio TCP cluster —
+and requires the committed chains to be literally identical on the
+common prefix.  Block ids are content hashes over deterministic fields
+only, so the simulator acts as a full correctness oracle for the
+networked runtime, not just a statistical reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments.spec import load_scenario
+from repro.rt_net.clients import ClientFleet
+from repro.rt_net.differential import common_prefix_len, run_differential
+from repro.rt_net.manager import (
+    RuntimeManager,
+    _free_ports,
+    unsupported_features,
+)
+from repro.rt_net.transport import TcpTransport, WallClock
+from repro.types.messages import ClientReplyMsg
+
+SCENARIO = "scenarios/rt_smoke.toml"
+
+
+class TestWallClock:
+    def test_now_advances_and_timers_fire(self):
+        async def scenario():
+            clock = WallClock(asyncio.get_event_loop())
+            fired = []
+            clock.set_timer(0.01, fired.append, "a")
+            handle = clock.set_timer(0.01, fired.append, "b")
+            clock.cancel_timer(handle)
+            before = clock.now
+            await asyncio.sleep(0.05)
+            assert clock.now > before
+            return fired
+
+        assert asyncio.run(scenario()) == ["a"]
+
+
+class TestTcpTransport:
+    def test_peer_roundtrip_and_multicast(self):
+        async def scenario():
+            host = "127.0.0.1"
+            ports = _free_ports(2, host)
+            peers = {rid: (host, port) for rid, port in enumerate(ports)}
+            inboxes = {0: [], 1: []}
+            transports = [
+                TcpTransport(
+                    rid, peers,
+                    on_message=lambda src, msg, rid=rid: inboxes[rid].append(
+                        (src, msg)
+                    ),
+                )
+                for rid in (0, 1)
+            ]
+            for transport in transports:
+                await transport.start()
+            try:
+                message = ClientReplyMsg(sender=0, height=3, round=7)
+                transports[0].send(0, 1, message)
+                transports[1].multicast(1, message, include_self=True)
+                deadline = asyncio.get_event_loop().time() + 5.0
+                while (
+                    (not inboxes[1] or len(inboxes[0]) < 1
+                     or len(inboxes[1]) < 2)
+                    and asyncio.get_event_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.01)
+            finally:
+                for transport in transports:
+                    await transport.stop()
+            return inboxes, message
+
+        inboxes, message = asyncio.run(scenario())
+        # 0 → 1 point-to-point, then 1's multicast reaching 0 and itself.
+        assert (0, message) in inboxes[1]
+        assert (1, message) in inboxes[0]
+        assert (1, message) in inboxes[1]
+
+    def test_queued_send_survives_late_listener(self):
+        """Sends enqueued before the peer listens arrive after it does."""
+
+        async def scenario():
+            host = "127.0.0.1"
+            ports = _free_ports(2, host)
+            peers = {rid: (host, port) for rid, port in enumerate(ports)}
+            received = []
+            sender = TcpTransport(0, peers, on_message=lambda *a: None)
+            await sender.start()
+            message = ClientReplyMsg(sender=0, height=1, round=1)
+            sender.send(0, 1, message)  # nobody listening yet
+            await asyncio.sleep(0.2)
+            receiver = TcpTransport(
+                1, peers,
+                on_message=lambda src, msg: received.append((src, msg)),
+            )
+            await receiver.start()
+            deadline = asyncio.get_event_loop().time() + 5.0
+            while not received and asyncio.get_event_loop().time() < deadline:
+                await asyncio.sleep(0.01)
+            await sender.stop()
+            await receiver.stop()
+            return received, message
+
+        received, message = asyncio.run(scenario())
+        assert received == [(0, message)]
+
+
+class TestRuntimeManager:
+    def test_rejects_faulty_specs(self):
+        faulty = load_scenario(SCENARIO).with_overrides(**{"faults.crash": 1})
+        assert unsupported_features(faulty)
+        with pytest.raises(ValueError):
+            RuntimeManager(faulty)
+
+
+class TestDifferential:
+    """One spec, both tiers, identical committed chains."""
+
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        spec = load_scenario(SCENARIO)
+        return run_differential(
+            spec,
+            tcp_duration=3.0,
+            workdir=tmp_path_factory.mktemp("rt-diff"),
+        )
+
+    def test_chains_identical_on_common_prefix(self, result):
+        assert result.ok(), result.problems()
+        reference = result.tcp_reference()
+        agreed = common_prefix_len(result.sim, reference)
+        assert agreed == min(len(result.sim), len(reference))
+        assert agreed >= 10, "prefix too short to be meaningful"
+
+    def test_every_tcp_replica_committed(self, result):
+        assert result.report.min_commits() >= 1
+        assert result.report.chains_agree()
+
+
+class TestClientFleet:
+    def test_requests_acknowledged_at_f_plus_1(self, tmp_path):
+        spec = load_scenario(SCENARIO)
+        manager = RuntimeManager(spec, workdir=tmp_path)
+        try:
+            manager.start()
+            manager.wait_ready()
+            fleet = ClientFleet(
+                manager.endpoints(),
+                f=spec.to_experiment_config(manager.seed).resolved_f(),
+                num_clients=2,
+                seed=manager.seed,
+            )
+            asyncio.run(fleet.run(2.0))
+            report = manager.stop()
+        finally:
+            manager.cleanup()
+        assert fleet.total_submitted() > 0
+        assert fleet.total_acked() > 0
+        assert report.total_replies() >= fleet.total_acked()
+        assert report.chains_agree()

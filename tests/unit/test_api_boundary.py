@@ -1,0 +1,52 @@
+"""Transport/Clock seam lint: protocol code must not reach the backend.
+
+Replicas talk to the outside world only through the
+:class:`~repro.protocols.base.Transport` and
+:class:`~repro.protocols.base.Clock` protocols on their
+:class:`~repro.protocols.base.ReplicaContext` — that seam is what lets
+the same replica classes run under the deterministic simulator and the
+asyncio TCP runtime.  A direct ``.network`` or ``.simulator`` attribute
+reach from protocol-layer code would silently re-couple it to the
+simulator backend and break the TCP tier, so this test greps for new
+reaches and names the offending lines.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Packages that must stay backend-agnostic.  runtime/, net/, and
+#: rt_net/ are the backends themselves and may name their own
+#: attributes freely.
+SEALED_PACKAGES = ("protocols", "core", "sync")
+
+FORBIDDEN = re.compile(r"\.(network|simulator)\b")
+
+
+def _violations():
+    found = []
+    for package in SEALED_PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if FORBIDDEN.search(line):
+                    relative = path.relative_to(SRC.parent)
+                    found.append(f"{relative}:{number}: {line.strip()}")
+    return found
+
+
+def test_sealed_packages_exist():
+    for package in SEALED_PACKAGES:
+        assert (SRC / package).is_dir(), f"src/repro/{package} moved?"
+
+
+def test_no_backend_reaches_in_protocol_code():
+    violations = _violations()
+    assert not violations, (
+        "protocol-layer code reaches the simulator backend directly; "
+        "use the ReplicaContext Transport/Clock surface "
+        "(ctx.send/multicast/set_timer/cancel_timer/now) instead:\n"
+        + "\n".join(violations)
+    )

@@ -33,6 +33,10 @@ class Harness:
     def set_timer(self, delay, callback, *args):
         return self.simulator.schedule_in(delay, callback, *args)
 
+    def cancel_timer(self, handle):
+        if handle is not None:
+            handle.cancel()
+
 
 class TestRoundAdvancement:
     def test_start_enters_round_one(self):
